@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure/scenario of the paper: it
+*times* the scenario with pytest-benchmark and *prints* the series the
+experiment is about (virtual-time latency, message counts, time-in-script,
+grant rates...).  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the printed series alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import EventKind, Scheduler
+from repro.scripts import make_broadcast
+from repro.scripts.broadcast import data_param_name, sender_role_name
+
+
+def run_engine_broadcast(n: int, strategy: str, seed: int = 0,
+                         transport=None, performances: int = 1):
+    """Run an engine broadcast; return (scheduler, instance)."""
+    script = make_broadcast(n, strategy)
+    scheduler = Scheduler(seed=seed, transport=transport)
+    instance = script.instance(scheduler)
+    sender_role = sender_role_name(script)
+    param = data_param_name(script, sender_role)
+
+    def transmitter():
+        for r in range(performances):
+            yield from instance.enroll(sender_role, **{param: ("v", r)})
+
+    def recipient(i):
+        values = []
+        for _ in range(performances):
+            out = yield from instance.enroll(("recipient", i))
+            values.append(next(iter(out.values())))
+        return values
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), recipient(i))
+    scheduler.run()
+    return scheduler, instance
+
+
+def comm_count(scheduler: Scheduler) -> int:
+    """Number of committed rendezvous in the run."""
+    return len(scheduler.tracer.of_kind(EventKind.COMM))
+
+
+def time_in_script(scheduler: Scheduler, instance) -> dict[object, float]:
+    """Delegates to :func:`repro.verification.time_in_script`."""
+    from repro.verification import time_in_script as measure
+    return measure(scheduler.tracer, instance)
+
+
+def print_series(title: str, header: list[str],
+                 rows: list[tuple]) -> None:
+    """Print one experiment series as an aligned table."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(header[i])),
+                  max((len(f"{row[i]:g}" if isinstance(row[i], float)
+                           else str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = [f"{c:g}" if isinstance(c, float) else str(c) for c in row]
+        print("  ".join(c.ljust(w) for c, w in zip(cells, widths)))

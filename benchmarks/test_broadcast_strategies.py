@@ -1,0 +1,123 @@
+"""Section II strategy comparison: star vs. pipeline vs. tree ([12, 14]).
+
+The paper motivates scripts by the ability to swap broadcast strategies
+behind one interface, citing the literature for "various broadcast patterns
+and their relative merits".  This benchmark quantifies those merits on two
+fixed networks:
+
+* a **hub-and-spoke** network (sender at the hub): the star wins — every
+  message is one hop — while the pipeline pays two hops per stage;
+* a **balanced binary tree** network with the sender at the root and one
+  recipient per node: the tree broadcast wins at scale, because its wave
+  matches the topology (unit hops, parallel subtrees) while the star pays
+  the sender-to-leaf depth for every recipient sequentially.
+
+Series reported: virtual completion time and message-latency volume per
+strategy and size; the crossover assertions pin who wins where.
+"""
+
+import math
+
+import pytest
+
+from repro.net import NetworkTransport, Topology, binary_tree
+from repro.runtime import Scheduler
+
+from helpers import print_series, run_engine_broadcast
+
+STRATEGIES = ("star", "pipeline", "tree")
+
+
+def hub_network(n):
+    topology = Topology(f"hub({n})")
+    placement = {"T": "hub"}
+    for i in range(1, n + 1):
+        topology.add_link("hub", ("node", i), 1.0)
+        placement[("R", i)] = ("node", i)
+    return topology, placement
+
+
+def tree_network(n):
+    """Sender on the root node; recipient i on heap node i+1."""
+    topology = binary_tree(n + 1)
+    placement = {"T": ("n", 1)}
+    for i in range(1, n + 1):
+        placement[("R", i)] = ("n", i + 1)
+    return topology, placement
+
+
+def run_on(network_builder, strategy, n, seed=0):
+    topology, placement = network_builder(n)
+    transport = NetworkTransport(topology, placement)
+    scheduler, _ = run_engine_broadcast(n, strategy, seed=seed,
+                                        transport=transport)
+    return scheduler.now, transport.stats
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_single_broadcast_cost(benchmark, strategy):
+    benchmark(run_on, hub_network, strategy, 8)
+
+
+def test_hub_network_star_wins(benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16, 32):
+            times = {s: run_on(hub_network, s, n)[0] for s in STRATEGIES}
+            rows.append((n, times["star"], times["pipeline"], times["tree"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("Strategy sweep on hub-and-spoke (virtual time)",
+                 ["recipients", "star", "pipeline", "tree"], rows)
+    for n, star, pipeline, tree in rows:
+        # The star sends n sequential 1-hop messages; the pipeline chains
+        # one 1-hop send plus (n-1) 2-hop stages: always the worst here.
+        assert star == pytest.approx(n)
+        assert pipeline == pytest.approx(2 * n - 1)
+        assert pipeline > max(star, tree)
+    # Crossover: the sequential star wins small, but the tree's parallel
+    # wave overtakes it as n grows (even though each tree hop costs 2).
+    small = rows[0]
+    large = rows[-1]
+    assert small[1] < small[3]      # star beats tree at n=4
+    assert large[3] < large[1]      # tree beats star at n=32
+
+
+def test_tree_network_tree_wins_at_scale(benchmark):
+    def sweep():
+        rows = []
+        for n in (7, 15, 31, 63):
+            times = {s: run_on(tree_network, s, n)[0] for s in STRATEGIES}
+            rows.append((n, times["star"], times["pipeline"], times["tree"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("Strategy sweep on binary-tree network (virtual time)",
+                 ["recipients", "star", "pipeline", "tree"], rows)
+    # The topology-matched tree wave wins everywhere, by a margin that
+    # widens with n (star pays depth x n sequentially).
+    for n, star, pipeline, tree in rows:
+        assert tree < star
+        assert tree < pipeline
+    ratios = [star / tree for _, star, _, tree in rows]
+    assert ratios[-1] > 2 * ratios[0]
+    # Secondary crossover: the star beats the pipeline while the network
+    # is shallow, but loses once sender-to-leaf depth catches up with the
+    # pipeline's ~2-hop stages.
+    assert rows[0][1] < rows[0][2]
+    assert rows[-1][1] > rows[-1][2]
+
+
+def test_message_volume_identical_across_strategies(benchmark):
+    """Every strategy sends exactly n data messages: the abstraction varies
+    *where* they flow, not how many (per performance)."""
+    def measure():
+        counts = {}
+        for strategy in STRATEGIES:
+            _, stats = run_on(tree_network, strategy, 15)
+            counts[strategy] = stats.messages
+        return counts
+
+    counts = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert counts == {s: 15 for s in STRATEGIES}

@@ -1,0 +1,157 @@
+"""Section V extensions: open-ended, recursive and nested scripts.
+
+The paper's future-work list, implemented and measured: open-ended role
+arrays (gathering throughput as membership grows), recursive scripts
+(enrollment depth), and nested enrollment (a role that enrolls in a second
+script mid-performance).
+"""
+
+import pytest
+
+from repro.core import (Initiation, Mode, Param, ScriptDef, SealPolicy,
+                        Termination)
+from repro.runtime import Delay, Scheduler
+
+from helpers import print_series
+
+
+def make_gathering():
+    script = ScriptDef("gathering", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("hub", params=[Param("count", Mode.OUT)])
+    def hub(ctx, count):
+        yield Delay(100)
+        ctx.close_enrollment()
+        for index in ctx.family_indices("member"):
+            yield from ctx.send(("member", index), "go")
+        count.value = ctx.enrolled_count("member")
+
+    @script.role_family("member", indices=None, min_count=0)
+    def member(ctx):
+        yield from ctx.receive("hub")
+
+    script.critical_role_set("hub")
+    return script
+
+
+def run_gathering(members):
+    script = make_gathering()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler, seal_policy=SealPolicy.MANUAL)
+
+    def host():
+        out = yield from instance.enroll("hub")
+        return out["count"]
+
+    def guest(i):
+        yield Delay(i % 100)
+        yield from instance.enroll("member")
+
+    scheduler.spawn("H", host())
+    for i in range(members):
+        scheduler.spawn(("G", i), guest(i))
+    result = scheduler.run()
+    return result.results["H"], scheduler.total_steps
+
+
+@pytest.mark.parametrize("members", [4, 16, 64])
+def test_open_ended_gathering_scales(benchmark, members):
+    count, _ = benchmark(run_gathering, members)
+    assert count == members
+
+
+def test_open_ended_steps_series(benchmark):
+    def sweep():
+        return [(m, run_gathering(m)[1]) for m in (4, 16, 64, 128)]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("Open-ended gathering: scheduler steps vs members",
+                 ["members", "steps"], rows)
+    # Near-linear growth: steps per member stay within a small band.
+    per_member = [steps / m for m, steps in rows]
+    assert max(per_member) < 2.5 * min(per_member)
+
+
+def run_recursive(depth):
+    """A chain of nested performances: each level enrolls in a fresh
+    instance of its own script (the recursive-scripts extension)."""
+    script = ScriptDef("countdown")
+    reached = []
+
+    @script.role("worker", params=[Param("n", Mode.IN)])
+    def worker(ctx, n):
+        reached.append(n)
+        yield from ()
+
+    scheduler = Scheduler()
+
+    def process():
+        for level in range(depth, -1, -1):
+            instance = script.instance(scheduler, name=f"level{level}")
+            yield from instance.enroll("worker", n=level)
+
+    scheduler.spawn("P", process())
+    scheduler.run()
+    return reached
+
+
+@pytest.mark.parametrize("depth", [4, 32])
+def test_recursive_scripts(benchmark, depth):
+    reached = benchmark(run_recursive, depth)
+    assert reached[-len(range(depth + 1)):] == list(range(depth, -1, -1))
+
+
+def run_nested(width):
+    """A driver role that, mid-performance, enrolls ``width`` helpers in a
+    second script (nested enrollment)."""
+    inner = ScriptDef("inner")
+
+    @inner.role("ping", params=[Param("v", Mode.IN)])
+    def ping(ctx, v):
+        yield from ctx.send("pong", v)
+
+    @inner.role("pong", params=[Param("v", Mode.OUT)])
+    def pong(ctx, v):
+        v.value = yield from ctx.receive("ping")
+
+    outer = ScriptDef("outer")
+    scheduler = Scheduler()
+    inner_instance = inner.instance(scheduler)
+
+    @outer.role("driver", params=[Param("sent", Mode.OUT)])
+    def driver(ctx, sent):
+        for i in range(width):
+            yield from inner_instance.enroll("ping", v=i)
+        sent.value = width
+
+    @outer.role("bystander")
+    def bystander(ctx):
+        yield from ()
+
+    outer_instance = outer.instance(scheduler)
+
+    def driver_process():
+        out = yield from outer_instance.enroll("driver")
+        return out["sent"]
+
+    def bystander_process():
+        yield from outer_instance.enroll("bystander")
+
+    def helper(i):
+        out = yield from inner_instance.enroll("pong")
+        return out["v"]
+
+    scheduler.spawn("D", driver_process())
+    scheduler.spawn("B", bystander_process())
+    for i in range(width):
+        scheduler.spawn(("helper", i), helper(i))
+    result = scheduler.run()
+    values = sorted(result.results[("helper", i)] for i in range(width))
+    return values
+
+
+@pytest.mark.parametrize("width", [2, 8])
+def test_nested_enrollment(benchmark, width):
+    values = benchmark(run_nested, width)
+    assert values == list(range(width))

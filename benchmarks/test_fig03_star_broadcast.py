@@ -1,0 +1,58 @@
+"""Figure 3: the synchronized star broadcast.
+
+Times one performance at the figure's n=5, sweeps the recipient count, and
+reports virtual-time latency and message counts on a hub-and-spoke network
+(unit link latency).  Shape: the star's messages and completion time grow
+linearly with n — each message costs one hub link — and the sender is
+never blocked by an unready recipient (delayed initiation guarantees all
+recipients are enrolled and waiting).
+"""
+
+import pytest
+
+from repro.net import NetworkTransport, Topology
+from repro.verification import check_broadcast_delivery, performances_in
+
+from helpers import print_series, run_engine_broadcast
+
+
+def hub_transport(n):
+    topology = Topology(f"hub({n})")
+    placement = {"T": "hub"}
+    for i in range(1, n + 1):
+        topology.add_link("hub", ("node", i), 1.0)
+        placement[("R", i)] = ("node", i)
+    return NetworkTransport(topology, placement)
+
+
+def run_star(n):
+    transport = hub_transport(n)
+    scheduler, instance = run_engine_broadcast(n, "star",
+                                               transport=transport)
+    return scheduler, instance, transport
+
+
+def test_fig03_star_broadcast_n5(benchmark):
+    scheduler, instance, transport = benchmark(run_star, 5)
+    performance = performances_in(scheduler.tracer.events, instance.name)[0]
+    assert check_broadcast_delivery(scheduler.tracer, performance,
+                                    ("v", 0), count=5) == 5
+    assert transport.stats.messages == 5
+
+
+def test_fig03_star_scaling_series(benchmark):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16, 32):
+            scheduler, instance, transport = run_star(n)
+            rows.append((n, scheduler.now, transport.stats.messages))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("Figure 3: star broadcast scaling (hub network)",
+                 ["recipients", "virtual time", "messages"], rows)
+    # Linear shape: time == messages == n (unit-latency hub links,
+    # sequential sends).
+    for n, time, messages in rows:
+        assert messages == n
+        assert time == pytest.approx(n)

@@ -1,0 +1,93 @@
+"""Figure 5: the replicated-database lock manager.
+
+One performance per lock/release operation against k=3 replicas under the
+paper's one-read-all-write scheme.  The benchmark times single operations,
+reports grant outcomes for a contended read/write workload, and checks the
+scheme's signature shape: reads are cheap (1 grant) and never blocked by
+other reads; writes need all k grants and lose to any standing read.
+"""
+
+import pytest
+
+from repro.runtime import Scheduler
+from repro.scripts import ONE_READ_ALL_WRITE, ReplicatedLockService
+
+from helpers import print_series
+
+
+def run_ops(ops, k=3, seed=0):
+    scheduler = Scheduler(seed=seed)
+    service = ReplicatedLockService(scheduler, k=k,
+                                    strategy=ONE_READ_ALL_WRITE)
+    service.expect_operations(len(ops))
+    service.spawn_managers()
+
+    def driver():
+        statuses = []
+        for owner, role, item, op in ops:
+            status = yield from service.request(role, owner, item, op)
+            statuses.append((owner, role, op, status))
+        return statuses
+
+    scheduler.spawn("driver", driver())
+    result = scheduler.run()
+    return result.results["driver"], service
+
+
+CONTENDED_WORKLOAD = [
+    ("r1", "reader", "x", "lock"),
+    ("r2", "reader", "x", "lock"),     # readers share
+    ("w1", "writer", "x", "lock"),     # blocked by standing reads
+    ("r1", "reader", "x", "release"),
+    ("r2", "reader", "x", "release"),
+    ("w1", "writer", "x", "lock"),     # now all k grants available
+    ("r3", "reader", "x", "lock"),     # blocked by the writer
+    ("w1", "writer", "x", "release"),
+    ("r3", "reader", "x", "lock"),
+]
+
+
+def test_fig05_single_read_lock_operation(benchmark):
+    statuses, _ = benchmark(run_ops, [("r", "reader", "x", "lock")])
+    assert statuses[0][3] == "granted"
+
+
+def test_fig05_single_write_lock_operation(benchmark):
+    statuses, _ = benchmark(run_ops, [("w", "writer", "x", "lock")])
+    assert statuses[0][3] == "granted"
+
+
+def test_fig05_contended_workload_shape(benchmark):
+    statuses, service = benchmark(run_ops, CONTENDED_WORKLOAD)
+    print_series("Figure 5: one-read-all-write under contention (k=3)",
+                 ["owner", "role", "op", "status"], statuses)
+    outcomes = [status for _, _, _, status in statuses]
+    assert outcomes == ["granted", "granted", "denied", "released",
+                        "released", "granted", "denied", "released",
+                        "granted"]
+    # Locks persisted across performances: each op was its own performance.
+    assert service.instance.performance_count == len(CONTENDED_WORKLOAD)
+
+
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_fig05_write_cost_scales_with_k(benchmark, k):
+    """A write needs k grants: message count per write grows with k."""
+    from repro.runtime import EventKind
+
+    def run():
+        scheduler = Scheduler()
+        service = ReplicatedLockService(scheduler, k=k,
+                                        strategy=ONE_READ_ALL_WRITE)
+        service.expect_operations(1)
+        service.spawn_managers()
+
+        def driver():
+            return (yield from service.write_lock("w", "x"))
+
+        scheduler.spawn("driver", driver())
+        scheduler.run()
+        return len(scheduler.tracer.of_kind(EventKind.COMM))
+
+    comms = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Per manager: lock + reply + done = 3 rendezvous.
+    assert comms == 3 * k

@@ -1,0 +1,79 @@
+"""Figure 7: the CSP supervisor translation and its cost.
+
+The translation is an existence proof, not an implementation: every
+enrollment costs two extra rendezvous with the central ``p_s`` (start and
+end), and the supervisor serialises all coordination.  The benchmark runs
+the same broadcast through the engine's passive coordinator and through the
+translation, reporting rendezvous counts and wall-clock throughput.
+"""
+
+import pytest
+
+from repro.runtime import Scheduler
+from repro.translation import make_csp_broadcast
+
+from helpers import comm_count, print_series, run_engine_broadcast
+
+
+def run_translated(n, performances=1, seed=0):
+    script = make_csp_broadcast(n)
+    binding = {"transmitter": "p"}
+    binding.update({f"recipient{i}": f"q{i}" for i in range(1, n + 1)})
+    scheduler = Scheduler(seed=seed)
+
+    def transmitter():
+        for r in range(performances):
+            yield from script.enroll("transmitter", binding, x=("v", r))
+
+    def recipient(i):
+        for _ in range(performances):
+            yield from script.enroll(f"recipient{i}", binding)
+
+    scheduler.spawn(script.supervisor_name,
+                    script.supervisor_body(performances))
+    scheduler.spawn("p", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(f"q{i}", recipient(i))
+    scheduler.run()
+    return scheduler
+
+
+def test_fig07_translated_broadcast(benchmark):
+    scheduler = benchmark(run_translated, 5)
+    # m = 6 roles: one start + one end each, plus the 5 data messages.
+    assert comm_count(scheduler) == 2 * 6 + 5
+
+
+def test_fig07_engine_coordinator_baseline(benchmark):
+    scheduler, _ = benchmark(run_engine_broadcast, 5, "star_nondet")
+    # The passive coordinator adds no messages at all.
+    assert comm_count(scheduler) == 5
+
+
+def test_fig07_supervisor_message_overhead_series(benchmark):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16):
+            engine_scheduler, _ = run_engine_broadcast(n, "star_nondet")
+            translated_scheduler = run_translated(n)
+            rows.append((n, comm_count(engine_scheduler),
+                         comm_count(translated_scheduler)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series(
+        "Figure 7: rendezvous per performance, engine vs CSP translation",
+        ["recipients", "engine (coordinator)", "CSP translation (p_s)"],
+        rows)
+    for n, engine, translated in rows:
+        assert engine == n
+        # n data messages + 2*(n+1) supervisor messages.
+        assert translated == n + 2 * (n + 1)
+
+
+def test_fig07_supervisor_serialises_repeat_performances(benchmark):
+    scheduler = benchmark.pedantic(run_translated, args=(3,),
+                                   kwargs={"performances": 5},
+                                   rounds=3, iterations=1)
+    # 5 performances x (3 data + 2*4 supervisor) messages.
+    assert comm_count(scheduler) == 5 * (3 + 2 * 4)

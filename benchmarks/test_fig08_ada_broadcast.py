@@ -1,0 +1,60 @@
+"""Figure 8: broadcast in Ada — the reverse broadcast.
+
+"The script body contains a 'reverse broadcast' in that the recipients
+call the transmitter, rather than the other way around" — Ada callers must
+name the callee, accepts are anonymous.  The benchmark runs the Figure 8
+script (via the Figures 9-11 translation machinery) and reports the entry
+calls observed, asserting the direction of every data rendezvous.
+"""
+
+from repro.ada import AdaSystem
+from repro.runtime import Scheduler
+from repro.translation import make_ada_broadcast
+
+from helpers import print_series
+
+
+def run_fig8(n, seed=0):
+    scheduler = Scheduler(seed=seed)
+    system = AdaSystem(scheduler)
+    script = make_ada_broadcast(system, n)
+    script.install(performances=1)
+
+    def sender_task(ctx):
+        yield from script.enroll(ctx, "sender", data="payload")
+
+    def recipient_task(i):
+        def body(ctx):
+            out = yield from script.enroll(ctx, f"r{i}")
+            return out["data"]
+        return body
+
+    system.task("S", sender_task)
+    for i in range(1, n + 1):
+        system.task(f"T{i}", recipient_task(i))
+    result = scheduler.run()
+    return scheduler, result
+
+
+def test_fig08_ada_broadcast_n5(benchmark):
+    scheduler, result = benchmark(run_fig8, 5)
+    for i in range(1, 6):
+        assert result.results[f"T{i}"] == "payload"
+
+
+def test_fig08_reverse_broadcast_direction(benchmark):
+    scheduler, _ = benchmark.pedantic(run_fig8, args=(5,),
+                                      rounds=3, iterations=1)
+    receive_calls = [event for event in scheduler.tracer.user_events("ada_call")
+                     if event.get("entry") == "receive"]
+    print_series(
+        "Figure 8: data transfer direction (reverse broadcast)",
+        ["caller (recipient task)", "callee entry"],
+        [(str(event.get("caller")), f"{event.get('task')}.receive")
+         for event in receive_calls])
+    # Every data rendezvous is recipient -> sender.receive: 5 calls, all
+    # addressed to the sender's role task.
+    assert len(receive_calls) == 5
+    sender_task = ("broadcast", "role", "sender")
+    assert all(event.get("task") == sender_task for event in receive_calls)
+    assert all(event.get("caller") != "S" for event in receive_calls)

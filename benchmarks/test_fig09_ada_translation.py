@@ -1,0 +1,74 @@
+"""Figures 9-11: the Ada translation's measured consequences.
+
+The paper names two "unfortunate consequences": the number of processes
+grows from n to n + m + 1, and extra rendezvous flow through the start/stop
+entries and the supervisor.  The benchmark sweeps the broadcast size and
+reports both, plus wall-clock cost per performance.
+"""
+
+from repro.ada import AdaSystem
+from repro.runtime import Scheduler
+from repro.translation import make_ada_broadcast
+
+from helpers import print_series
+
+
+def run_translation(n, performances=1, seed=0):
+    scheduler = Scheduler(seed=seed)
+    system = AdaSystem(scheduler)
+    script = make_ada_broadcast(system, n)
+    script.install(performances=performances)
+
+    def sender_task(ctx):
+        for r in range(performances):
+            yield from script.enroll(ctx, "sender", data=r)
+
+    def recipient_task(i):
+        def body(ctx):
+            for _ in range(performances):
+                yield from script.enroll(ctx, f"r{i}")
+        return body
+
+    system.task("S", sender_task)
+    for i in range(1, n + 1):
+        system.task(f"T{i}", recipient_task(i))
+    process_count = len(scheduler.processes)
+    scheduler.run()
+    calls = len(scheduler.tracer.user_events("ada_call"))
+    return process_count, calls
+
+
+def test_fig09_translated_performance(benchmark):
+    benchmark(run_translation, 5)
+
+
+def test_fig09_process_growth_series(benchmark):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16):
+            enrollers = n + 1          # sender + n recipients
+            role_tasks = n + 1         # one task per role
+            processes, calls = run_translation(n)
+            rows.append((n, enrollers, processes, calls))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series(
+        "Figures 9-11: process growth n -> n + m + 1 and entry calls",
+        ["recipients", "enrolling tasks (n)", "total processes",
+         "entry calls"], rows)
+    for n, enrollers, processes, calls in rows:
+        # n + m + 1 with m = n + 1 roles.
+        assert processes == enrollers + (n + 1) + 1
+        # Per enroller: start + stop; per role: begin + finish to the
+        # supervisor; plus n data calls (recipient -> sender.receive).
+        expected_calls = 2 * enrollers + 2 * (n + 1) + n
+        assert calls == expected_calls
+
+
+def test_fig09_multi_performance_serialisation(benchmark):
+    processes, calls = benchmark.pedantic(
+        run_translation, args=(3,), kwargs={"performances": 4},
+        rounds=3, iterations=1)
+    # Call volume scales linearly with performances.
+    assert calls == 4 * (2 * 4 + 2 * 4 + 3)

@@ -1,0 +1,116 @@
+"""Figure 12: the mailbox (monitor) broadcast and the serialization cost.
+
+The paper contrasts two monitor designs: one monitor housing all mailboxes
+("all access to any mailbox is serialized") versus one monitor per mailbox
+(the script solution).  The benchmark gives each ``put`` 1 unit of
+simulated in-monitor work and measures total virtual time for both
+designs, plus the script-packaged Figure 12 broadcast itself.
+"""
+
+import pytest
+
+from repro.monitors import Mailbox, Monitor, SharedMailboxBank, procedure
+from repro.runtime import Delay, Scheduler
+from repro.scripts import make_mailbox_broadcast
+
+from helpers import print_series
+
+
+class SlowBank(SharedMailboxBank):
+    """The single-monitor design with 1 unit of work inside each put."""
+
+    @procedure
+    def put(self, index, item):
+        yield Delay(1)
+        self._check_index(index)
+        yield from self.wait_until(lambda: self._status[index] == "empty")
+        self._contents[index] = item
+        self._status[index] = "full"
+
+
+class SlowMailbox(Mailbox):
+    """The per-mailbox design with the same 1 unit of work per put."""
+
+    @procedure
+    def put(self, item):
+        yield Delay(1)
+        yield from self.wait_until(lambda: self.status == "empty")
+        self.contents = item
+        self.status = "full"
+
+
+def run_single_monitor(n):
+    bank = SlowBank(count=n)
+    scheduler = Scheduler()
+
+    def producer(i):
+        yield from bank.put(i, f"item-{i}")
+
+    def consumer(i):
+        return (yield from bank.get(i))
+
+    for i in range(n):
+        scheduler.spawn(("p", i), producer(i))
+        scheduler.spawn(("c", i), consumer(i))
+    scheduler.run()
+    return scheduler.now
+
+
+def run_monitor_per_mailbox(n):
+    boxes = [SlowMailbox(f"box{i}") for i in range(n)]
+    scheduler = Scheduler()
+
+    def producer(i):
+        yield from boxes[i].put(f"item-{i}")
+
+    def consumer(i):
+        return (yield from boxes[i].get())
+
+    for i in range(n):
+        scheduler.spawn(("p", i), producer(i))
+        scheduler.spawn(("c", i), consumer(i))
+    scheduler.run()
+    return scheduler.now
+
+
+def run_script_broadcast(n):
+    script = make_mailbox_broadcast(n)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def sender():
+        yield from instance.enroll("sender", data="monitor-msg")
+
+    def recipient(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("S", sender())
+    for i in range(1, n + 1):
+        scheduler.spawn(f"R{i}", recipient(i))
+    result = scheduler.run()
+    return result
+
+
+def test_fig12_script_mailbox_broadcast(benchmark):
+    result = benchmark(run_script_broadcast, 5)
+    assert all(result.results[f"R{i}"] == "monitor-msg"
+               for i in range(1, 6))
+
+
+def test_fig12_serialization_single_vs_per_mailbox(benchmark):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8):
+            rows.append((n, run_single_monitor(n),
+                         run_monitor_per_mailbox(n)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series(
+        "Figure 12: virtual completion time, 1 unit of work per put",
+        ["mailboxes", "single monitor", "monitor per mailbox"], rows)
+    for n, single, per_box in rows:
+        # Single monitor serializes all n puts; per-mailbox overlaps them.
+        assert single == pytest.approx(n)
+        assert per_box == pytest.approx(1)

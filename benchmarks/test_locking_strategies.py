@@ -1,0 +1,140 @@
+"""Locking-strategy comparison: one-read-all-write vs. majority vs. Korth.
+
+Section II: the lock-manager script "can hide various read/write locking
+strategies".  This benchmark quantifies their trade-offs:
+
+* **message cost per operation** — how many manager grants each scheme
+  needs (reads are 1 vs. majority; writes are k vs. majority);
+* **grant outcomes under contention** — a standing read denies a
+  one-read-all-write write but *coexists with another read on any node*,
+  while majority reads collide with majority writes symmetrically;
+* **granularity** — Korth tables let a whole-file write and sibling-file
+  reads coexist where flat tables on the same quorum would conflict only
+  by item identity.
+"""
+
+import pytest
+
+from repro.runtime import EventKind, Scheduler
+from repro.scripts import (MAJORITY, ONE_READ_ALL_WRITE,
+                           MultipleGranularityTable, ReplicatedLockService)
+
+from helpers import print_series
+
+
+def run_sequence(strategy, ops, k=5, table_factory=None, seed=0):
+    scheduler = Scheduler(seed=seed)
+    kwargs = {"table_factory": table_factory} if table_factory else {}
+    service = ReplicatedLockService(scheduler, k=k, strategy=strategy,
+                                    **kwargs)
+    service.expect_operations(len(ops))
+    service.spawn_managers()
+
+    def driver():
+        statuses = []
+        for owner, role, item, op in ops:
+            statuses.append((yield from service.request(role, owner,
+                                                        item, op)))
+        return statuses
+
+    scheduler.spawn("driver", driver())
+    result = scheduler.run()
+    comms = len(scheduler.tracer.of_kind(EventKind.COMM))
+    return result.results["driver"], comms
+
+
+READ = lambda owner, item="x": (owner, "reader", item, "lock")      # noqa: E731
+WRITE = lambda owner, item="x": (owner, "writer", item, "lock")     # noqa: E731
+
+
+def test_one_read_all_write_read_op(benchmark):
+    statuses, _ = benchmark(run_sequence, ONE_READ_ALL_WRITE, [READ("r")])
+    assert statuses == ["granted"]
+
+
+def test_majority_read_op(benchmark):
+    statuses, _ = benchmark(run_sequence, MAJORITY, [READ("r")])
+    assert statuses == ["granted"]
+
+
+def test_message_cost_per_operation_series(benchmark):
+    def sweep():
+        rows = []
+        for k in (3, 5, 9):
+            _, read_1rw = run_sequence(ONE_READ_ALL_WRITE, [READ("r")], k=k)
+            _, write_1rw = run_sequence(ONE_READ_ALL_WRITE, [WRITE("w")],
+                                        k=k)
+            _, read_maj = run_sequence(MAJORITY, [READ("r")], k=k)
+            _, write_maj = run_sequence(MAJORITY, [WRITE("w")], k=k)
+            rows.append((k, read_1rw, write_1rw, read_maj, write_maj))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series(
+        "Rendezvous per uncontended operation (k replicas)",
+        ["k", "1R/kW read", "1R/kW write", "majority read",
+         "majority write"], rows)
+    for k, read_1rw, write_1rw, read_maj, write_maj in rows:
+        majority = k // 2 + 1
+        # 1R/kW: reads touch 1 manager (lock+reply) but notify all (done).
+        assert read_1rw == 2 * 1 + k
+        assert write_1rw == 2 * k + k
+        assert read_maj == 2 * majority + k
+        assert write_maj == 2 * majority + k
+        # The headline shape: 1R/kW reads are the cheapest, its writes the
+        # most expensive; majority sits between and is symmetric.
+        assert read_1rw < read_maj <= write_maj < write_1rw
+
+
+def test_contention_outcomes_differ_between_strategies(benchmark):
+    def measure():
+        # A standing read, then a write, then a second read.
+        workload = [READ("r1"), WRITE("w1"), READ("r2")]
+        one_rw, _ = run_sequence(ONE_READ_ALL_WRITE, workload)
+        majority, _ = run_sequence(MAJORITY, workload)
+        return one_rw, majority
+
+    one_rw, majority = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print_series(
+        "Outcomes under a standing read (ops: read r1, write w1, read r2)",
+        ["strategy", "read r1", "write w1", "read r2"],
+        [("one-read-all-write", *one_rw), ("majority", *majority)])
+    # Both deny the write while a read stands; both admit a second reader
+    # (majority read quorums overlap only in read locks, which share).
+    assert one_rw == ["granted", "denied", "granted"]
+    assert majority == ["granted", "denied", "granted"]
+
+
+def test_write_write_conflict_is_guaranteed_by_both(benchmark):
+    def measure():
+        workload = [WRITE("w1"), WRITE("w2")]
+        return (run_sequence(ONE_READ_ALL_WRITE, workload)[0],
+                run_sequence(MAJORITY, workload)[0])
+
+    one_rw, majority = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert one_rw == ["granted", "denied"]
+    assert majority == ["granted", "denied"]
+
+
+def test_granularity_tables_change_conflict_shape(benchmark):
+    def measure():
+        workload = [
+            ("w", "writer", ("db", "f1"), "lock"),
+            ("r1", "reader", ("db", "f1", "rec"), "lock"),  # inside f1
+            ("r2", "reader", ("db", "f2"), "lock"),          # sibling
+        ]
+        korth, _ = run_sequence(ONE_READ_ALL_WRITE, workload, k=3,
+                                table_factory=MultipleGranularityTable)
+        flat, _ = run_sequence(ONE_READ_ALL_WRITE, workload, k=3)
+        return korth, flat
+
+    korth, flat = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print_series(
+        "Korth granularity vs flat items "
+        "(write db/f1; read db/f1/rec; read db/f2)",
+        ["tables", "write f1", "read f1/rec", "read f2"],
+        [("multiple-granularity", *korth), ("flat", *flat)])
+    # Korth: the record inside the locked file conflicts, the sibling does
+    # not.  Flat tables treat the three keys as unrelated: no conflicts.
+    assert korth == ["granted", "denied", "granted"]
+    assert flat == ["granted", "granted", "granted"]

@@ -1,0 +1,117 @@
+"""Kernel microbenchmarks: the primitive costs everything else pays.
+
+Wall-clock throughput of the runtime's primitives — plain rendezvous,
+selective rendezvous, condition waits, and script enrollment — so the
+higher-level numbers (translations, strategies) can be read against the
+substrate's own constant factors.
+"""
+
+import pytest
+
+from repro.runtime import (Delay, Receive, Select, Send, Scheduler,
+                           WaitUntil, run_processes)
+from repro.scripts import make_star_broadcast
+
+PAIRS = 50
+
+
+def ping_pong(rounds):
+    def left():
+        for _ in range(rounds):
+            yield Send("right", 1)
+            yield Receive("right")
+
+    def right():
+        for _ in range(rounds):
+            yield Receive("left")
+            yield Send("left", 1)
+
+    run_processes({"left": left(), "right": right()})
+
+
+def test_rendezvous_throughput(benchmark):
+    benchmark(ping_pong, 200)
+
+
+def test_select_throughput(benchmark):
+    def selector(rounds):
+        def chooser():
+            for _ in range(rounds):
+                result = yield Select((Receive("a"), Receive("b")))
+        return chooser
+
+    def feeder(name, rounds):
+        def body():
+            for _ in range(rounds):
+                yield Send("chooser", 1)
+        return body
+
+    def run():
+        run_processes({
+            "chooser": selector(200)(),
+            "a": feeder("a", 100)(),
+            "b": feeder("b", 100)()})
+
+    benchmark(run)
+
+
+def test_wait_until_wakeup_cost(benchmark):
+    def run():
+        box = {"n": 0}
+
+        def bumper():
+            for _ in range(100):
+                box["n"] += 1
+                yield Delay(0)
+
+        def watcher():
+            for target in range(1, 101):
+                yield WaitUntil(lambda t=target: box["n"] >= t, "count")
+
+        run_processes({"bumper": bumper(), "watcher": watcher()})
+
+    benchmark(run)
+
+
+def test_enrollment_throughput(benchmark):
+    """Enroll/perform/free cycles per second for a 3-role script."""
+    script = make_star_broadcast(2)
+
+    def run():
+        scheduler = Scheduler()
+        instance = script.instance(scheduler)
+        rounds = 50
+
+        def transmitter():
+            for r in range(rounds):
+                yield from instance.enroll("sender", data=r)
+
+        def listener(i):
+            for _ in range(rounds):
+                yield from instance.enroll(("recipient", i))
+
+        scheduler.spawn("T", transmitter())
+        scheduler.spawn("R1", listener(1))
+        scheduler.spawn("R2", listener(2))
+        scheduler.run()
+        return scheduler.total_steps
+
+    steps = benchmark(run)
+    assert steps > 0
+
+
+def test_many_process_fanin(benchmark):
+    """One sink receiving from 50 senders: board matching under load."""
+    def run():
+        def sender(i):
+            yield Send("sink", i)
+
+        def sink():
+            for _ in range(PAIRS):
+                yield Receive()
+
+        processes = {("s", i): sender(i) for i in range(PAIRS)}
+        processes["sink"] = sink()
+        run_processes(processes)
+
+    benchmark(run)

@@ -1,0 +1,148 @@
+"""Benchmarks for the script library's frequently-used patterns.
+
+The paper's motivation: "enable a single definition of frequently used
+patterns".  These benches measure the patterns the library ships beyond the
+paper's own figures — barrier, all-to-all exchange, two-phase commit, and
+ring election — and pin their message-complexity shapes.
+"""
+
+import pytest
+
+from repro.runtime import EventKind, Scheduler
+from repro.scripts import (make_barrier, make_exchange,
+                           make_two_phase_commit, run_election,
+                           run_transaction)
+
+from helpers import print_series
+
+
+def run_barrier_episodes(parties, episodes):
+    script = make_barrier(parties)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def party(i):
+        for _ in range(episodes):
+            yield from instance.enroll(("party", i))
+
+    for i in range(1, parties + 1):
+        scheduler.spawn(("P", i), party(i))
+    scheduler.run()
+    return instance
+
+
+@pytest.mark.parametrize("parties", [4, 16])
+def test_barrier_throughput(benchmark, parties):
+    instance = benchmark(run_barrier_episodes, parties, 5)
+    assert instance.performance_count == 5
+
+
+def run_exchange(parties, seed=0):
+    script = make_exchange(parties)
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def party(i):
+        out = yield from instance.enroll(("party", i), value=i)
+        return out["gathered"]
+
+    for i in range(1, parties + 1):
+        scheduler.spawn(("P", i), party(i))
+    scheduler.run()
+    return len(scheduler.tracer.of_kind(EventKind.COMM))
+
+
+def test_exchange_message_complexity(benchmark):
+    def sweep():
+        return [(n, run_exchange(n)) for n in (2, 4, 8, 16)]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("All-to-all exchange: rendezvous vs parties",
+                 ["parties", "rendezvous"], rows)
+    # Gather + scatter through party 1: 2(n-1) messages.
+    for n, comms in rows:
+        assert comms == 2 * (n - 1)
+
+
+def count_2pc_comms(n):
+    scheduler = Scheduler()
+    script = make_two_phase_commit(n)
+    instance = script.instance(scheduler)
+
+    def coordinator():
+        yield from instance.enroll("coordinator", proposal="t")
+
+    def participant(i):
+        yield from instance.enroll(("participant", i), vote="yes")
+
+    scheduler.spawn("C", coordinator())
+    for i in range(1, n + 1):
+        scheduler.spawn(("P", i), participant(i))
+    scheduler.run()
+    return len(scheduler.tracer.of_kind(EventKind.COMM))
+
+
+def test_two_phase_commit_message_complexity(benchmark):
+    def sweep():
+        return [(n, count_2pc_comms(n)) for n in (1, 4, 8, 16)]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print_series("Two-phase commit: rendezvous vs participants",
+                 ["participants", "rendezvous"], rows)
+    # prepare + vote + decision = 3 messages per participant.
+    for n, comms in rows:
+        assert comms == 3 * n
+
+
+def test_two_phase_commit_latency(benchmark):
+    decision, outcomes = benchmark(run_transaction,
+                                   ["yes"] * 8)
+    assert decision == "commit"
+
+
+def election_comms(ids, seed=0):
+    scheduler = Scheduler(seed=seed)
+    from repro.scripts import make_ring_election
+
+    script = make_ring_election(len(ids))
+    instance = script.instance(scheduler)
+
+    def station(i):
+        out = yield from instance.enroll(("station", i), my_id=ids[i - 1])
+        return out["leader"]
+
+    for i in range(1, len(ids) + 1):
+        scheduler.spawn(("S", i), station(i))
+    scheduler.run()
+    return len(scheduler.tracer.of_kind(EventKind.COMM))
+
+
+def test_election_best_vs_worst_case_messages(benchmark):
+    """Chang-Roberts: ids *decreasing* along the send direction is the
+    worst case (the token starting at id k travels k hops before dying at
+    the maximum); increasing ids is the best case (every token but the
+    maximum's dies at its first hop)."""
+    def measure():
+        rows = []
+        for n in (4, 8, 16):
+            best = election_comms(list(range(1, n + 1)))       # increasing
+            worst = election_comms(list(range(n, 0, -1)))      # decreasing
+            rows.append((n, best, worst))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print_series("Ring election: candidate+announce rendezvous",
+                 ["stations", "best case (increasing ids)",
+                  "worst case (decreasing ids)"], rows)
+    for n, best, worst in rows:
+        assert best < worst
+        # Best: (n-1) one-hop deaths + the max's n-hop lap + n-hop
+        # announcement.  Worst: sum(1..n) token hops + n announcements.
+        assert best == (n - 1) + n + n
+        assert worst == n * (n + 1) // 2 + n
+
+
+@pytest.mark.parametrize("n", [8])
+def test_election_wallclock(benchmark, n):
+    leaders = benchmark(run_election, list(range(1, n + 1)))
+    assert set(leaders.values()) == {n}

@@ -1,0 +1,82 @@
+"""Atomic commitment + leader election, composed from library scripts.
+
+A bank replicates an account ledger across three sites.  Each business day
+(one round):
+
+1. the sites run a **ring election** script to pick the day's coordinator
+   (the site with the highest priority id wins);
+2. the winner coordinates a **two-phase commit** script over the day's
+   batch of transfers, with the *other* sites as voting participants (the
+   coordinator's own replica is implied by its proposal).  Participants
+   enroll by bare family name — "any free participant slot" — since vote
+   order is irrelevant.
+
+Both protocols are scripts from :mod:`repro.scripts`; the processes below
+only enroll.  This is the paper's composition story: application code
+stitches together communication abstractions without touching a single
+send or receive.
+
+Run:  python examples/atomic_commit.py
+"""
+
+from repro.runtime import Scheduler
+from repro.scripts import make_ring_election, make_two_phase_commit
+
+SITES = 3
+#: Per-day batches with the two non-leader sites' votes, keyed by site id.
+DAYS = [
+    {"batch": "monday-transfers", "votes": {1: "yes", 2: "yes"}},
+    {"batch": "tuesday-transfers", "votes": {1: "yes", 2: "no"}},
+]
+
+
+def main():
+    scheduler = Scheduler(seed=1)
+    election = make_ring_election(SITES).instance(scheduler)
+    commit = make_two_phase_commit(SITES - 1).instance(scheduler)
+    ledger_log = []
+
+    def site(index, priority):
+        for day in DAYS:
+            # 1. Elect today's coordinator.
+            out = yield from election.enroll(("station", index),
+                                             my_id=priority)
+            is_leader = out["leader"] == priority
+            # 2. The winner coordinates; the others vote.
+            if is_leader:
+                decision_out = yield from commit.enroll(
+                    "coordinator", proposal=day["batch"])
+                ledger_log.append((day["batch"], "decision",
+                                   decision_out["decision"]))
+            else:
+                outcome = yield from commit.enroll(
+                    "participant", vote=day["votes"][index])
+                ledger_log.append((day["batch"], f"site{index}",
+                                   outcome["outcome"]))
+
+    priorities = {1: 10, 2: 20, 3: 30}   # site 3 always wins the election
+    for index, priority in priorities.items():
+        scheduler.spawn(f"site{index}", site(index, priority))
+    scheduler.run()
+
+    print(f"{SITES} replicated sites, {len(DAYS)} daily batches\n")
+    for day in DAYS:
+        batch = day["batch"]
+        entries = [e for e in ledger_log if e[0] == batch]
+        decision = next(v for _, kind, v in entries if kind == "decision")
+        print(f"{batch}: votes {day['votes']} -> {decision.upper()}")
+        for _, kind, value in entries:
+            if kind != "decision":
+                print(f"  {kind} applied: {value}")
+    monday = [v for b, k, v in ledger_log
+              if b == "monday-transfers" and k != "decision"]
+    tuesday = [v for b, k, v in ledger_log
+               if b == "tuesday-transfers" and k != "decision"]
+    assert monday == ["commit"] * (SITES - 1)
+    assert tuesday == ["abort"] * (SITES - 1)
+    print("\natomic commitment OK: the unanimous day commits, the vetoed "
+          "day aborts everywhere")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Broadcast strategies on a real(istic) network: the Section II comparison.
+
+"The body of the script could hide the various broadcast strategies" — this
+example runs the same externally-identical broadcast with star, pipeline and
+spanning-tree bodies on a simulated network, and reports virtual-time
+latency and message counts per strategy.  The enrolling processes are
+placed one per node; roles run on the enrolling process's node, exactly as
+the paper requires.
+
+Run:  python examples/broadcast_patterns.py
+"""
+
+from repro.net import NetworkTransport, Topology
+from repro.runtime import Scheduler
+from repro.scripts import make_broadcast
+from repro.scripts.broadcast import data_param_name, sender_role_name
+
+
+def build_topology(n):
+    """A two-level network: sender's node linked to n recipient nodes."""
+    topology = Topology(f"cluster({n})")
+    for i in range(1, n + 1):
+        topology.add_link("root", ("node", i), latency=1.0)
+    return topology
+
+
+def run_strategy(strategy, n, seed=0):
+    topology = build_topology(n)
+    placement = {"T": "root"}
+    for i in range(1, n + 1):
+        placement[("R", i)] = ("node", i)
+    transport = NetworkTransport(topology, placement)
+    scheduler = Scheduler(seed=seed, transport=transport)
+    script = make_broadcast(n, strategy)
+    instance = script.instance(scheduler)
+    sender_role = sender_role_name(script)
+    param = data_param_name(script, sender_role)
+
+    def transmitter():
+        yield from instance.enroll(sender_role, **{param: "payload"})
+
+    def recipient(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), recipient(i))
+    result = scheduler.run()
+    return result.time, transport.stats
+
+
+def main():
+    n = 8
+    print(f"broadcast to {n} recipients over a hub-and-spoke network "
+          f"(per-link latency 1.0)\n")
+    print(f"{'strategy':<12} {'virtual time':>12} {'messages':>9} "
+          f"{'total msg latency':>18}")
+    for strategy in ("star", "star_nondet", "pipeline", "tree"):
+        time, stats = run_strategy(strategy, n)
+        print(f"{strategy:<12} {time:>12.1f} {stats.messages:>9} "
+              f"{stats.total_latency:>18.1f}")
+    print("\nThe star finishes each hop at distance 1 from the root; the")
+    print("pipeline pays node-to-node distance 2 per hop; the tree's wave")
+    print("overlaps transmissions, trading latency against fan-out load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Open-ended scripts (Section V): a gather-then-broadcast chat room.
+
+The paper proposes "dynamic arrays of roles, where the number of roles is
+not fixed until run-time ... open-ended scripts.  They would allow
+different instances of a script to take place with somewhat different role
+structures."  Here a host opens a room, members trickle in (an open role
+family), the host closes enrollment, and every member receives the
+attendance list.  Two rooms run back to back with different attendance —
+the "different role structures" the paper asks for.
+
+Run:  python examples/open_chatroom.py
+"""
+
+from repro.core import (Initiation, Mode, Param, ScriptDef, SealPolicy,
+                        Termination)
+from repro.runtime import Delay, Scheduler
+
+
+def make_chatroom():
+    script = ScriptDef("chatroom", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("host", params=[Param("topic", Mode.IN),
+                                 Param("attendance", Mode.OUT)])
+    def host(ctx, topic, attendance):
+        # Let guests arrive for 10 time units, then close the doors.
+        yield Delay(10)
+        ctx.close_enrollment()
+        names = {}
+        for index in ctx.family_indices("member"):
+            name = yield from ctx.receive(("member", index))
+            names[index] = name
+        roster = sorted(names.values())
+        for index in ctx.family_indices("member"):
+            yield from ctx.send(("member", index), (topic, roster))
+        attendance.value = roster
+
+    @script.role_family("member", indices=None, min_count=0,
+                        params=[Param("name", Mode.IN),
+                                Param("seen", Mode.OUT)])
+    def member(ctx, name, seen):
+        yield from ctx.send("host", name)
+        seen.value = yield from ctx.receive("host")
+
+    script.critical_role_set("host")
+    return script
+
+
+def main():
+    script = make_chatroom()
+    scheduler = Scheduler(seed=3)
+    instance = script.instance(scheduler, seal_policy=SealPolicy.MANUAL)
+    printed = []
+
+    def host_process(topic, start_at):
+        yield Delay(start_at)
+        out = yield from instance.enroll("host", topic=topic)
+        printed.append((topic, out["attendance"]))
+
+    def guest(name, arrive_at):
+        yield Delay(arrive_at)
+        out = yield from instance.enroll("member", name=name)
+        return out["seen"]
+
+    # Room 1 (t=0..10): three guests make it in time.
+    scheduler.spawn("H1", host_process("scripts", 0))
+    scheduler.spawn("ann", guest("ann", 2))
+    scheduler.spawn("bob", guest("bob", 4))
+    scheduler.spawn("cyd", guest("cyd", 9))
+    # Room 2 (starts after room 1 ends): one late guest.
+    scheduler.spawn("H2", host_process("monitors", 15))
+    scheduler.spawn("dee", guest("dee", 16))
+
+    result = scheduler.run()
+    for topic, attendance in printed:
+        print(f"room on {topic!r}: attendance {attendance}")
+    for name in ("ann", "bob", "cyd", "dee"):
+        print(f"  {name} saw {result.results[name]}")
+    assert printed[0][1] == ["ann", "bob", "cyd"]
+    assert printed[1][1] == ["dee"]
+    print("open-ended chat rooms OK "
+          f"({instance.performance_count} performances, different sizes)")
+
+
+if __name__ == "__main__":
+    main()

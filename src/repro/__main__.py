@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``            — list the paper's figures shipped as sources;
+* ``show <figure>``      — print a figure's script-language source;
+* ``check <file>``       — parse and semantically check a script file;
+* ``lint <file>``        — flag communications that can never rendezvous;
+* ``format <file>``      — pretty-print a script file (round-trippable);
+* ``demo broadcast``     — run a broadcast and print the delivery table;
+* ``demo lock``          — run the Figure 5 lock-manager workload;
+* ``demo election``      — run a ring leader election.
+
+The CLI is a thin shell over the library; every command is available
+programmatically (see the modules referenced in each handler).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ScriptLangError
+from .lang import (analyze, format_program, lint_communications,
+                   parse_script)
+from .lang import figures as figure_sources
+
+FIGURES = {
+    "fig3": ("Figure 3: synchronized star broadcast",
+             figure_sources.FIGURE3_STAR_BROADCAST),
+    "fig4": ("Figure 4: pipeline broadcast",
+             figure_sources.FIGURE4_PIPELINE_BROADCAST),
+    "fig5": ("Figure 5: database lock manager",
+             figure_sources.FIGURE5_DATABASE),
+}
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    """List the shipped figure sources."""
+    for key, (title, _source) in FIGURES.items():
+        print(f"{key:<6} {title}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Print a figure's script-language source."""
+    entry = FIGURES.get(args.figure)
+    if entry is None:
+        print(f"unknown figure {args.figure!r}; try: {', '.join(FIGURES)}",
+              file=sys.stderr)
+        return 2
+    print(entry[1].strip())
+    return 0
+
+
+def _load_program(path: str):
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return parse_script(source)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Parse and semantically check a script file."""
+    try:
+        program = _load_program(args.file)
+        info = analyze(program)
+    except ScriptLangError as error:
+        print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+    roles = []
+    for role in program.roles:
+        if role.is_family:
+            low, high = info.family_bounds[role.name]
+            roles.append(f"{role.name}[{low}..{high}]")
+        else:
+            roles.append(role.name)
+    print(f"{args.file}: SCRIPT {program.name} OK "
+          f"({program.initiation.lower()}/{program.termination.lower()}; "
+          f"roles: {', '.join(roles)})")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the communication lint over a script file."""
+    try:
+        program = _load_program(args.file)
+        analyze(program)
+    except ScriptLangError as error:
+        print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+    warnings = lint_communications(program)
+    for warning in warnings:
+        print(f"{args.file}: {warning}")
+    if warnings:
+        return 1
+    print(f"{args.file}: no communication warnings")
+    return 0
+
+
+def cmd_format(args: argparse.Namespace) -> int:
+    """Pretty-print a script file."""
+    try:
+        program = _load_program(args.file)
+    except ScriptLangError as error:
+        print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+    print(format_program(program))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run one of the built-in demo scenarios."""
+    if args.scenario == "broadcast":
+        from .scripts import run_broadcast
+        received = run_broadcast(args.n, args.strategy, value="demo",
+                                 seed=args.seed)
+        print(f"{args.strategy} broadcast to {args.n} recipients:")
+        for index, value in sorted(received.items()):
+            print(f"  recipient[{index}] <- {value!r}")
+        return 0
+    if args.scenario == "lock":
+        from .runtime import Scheduler
+        from .scripts import ONE_READ_ALL_WRITE, ReplicatedLockService
+        scheduler = Scheduler(seed=args.seed)
+        service = ReplicatedLockService(scheduler, k=3,
+                                        strategy=ONE_READ_ALL_WRITE)
+        ops = [("alice", "reader", "x", "lock"),
+               ("bob", "writer", "x", "lock"),
+               ("alice", "reader", "x", "release"),
+               ("bob", "writer", "x", "lock")]
+        service.expect_operations(len(ops))
+        service.spawn_managers()
+
+        def driver():
+            lines = []
+            for owner, role, item, op in ops:
+                status = yield from service.request(role, owner, item, op)
+                lines.append((owner, role, op, item, status))
+            return lines
+
+        scheduler.spawn("driver", driver())
+        result = scheduler.run()
+        print("lock manager (k=3, one lock to read, k locks to write):")
+        for owner, role, op, item, status in result.results["driver"]:
+            print(f"  {owner:<6} {role:<7} {op:<8} {item} -> {status}")
+        return 0
+    if args.scenario == "election":
+        from .scripts import run_election
+        ids = list(range(1, args.n + 1))
+        ids[args.seed % args.n], ids[-1] = ids[-1], ids[args.seed % args.n]
+        leaders = run_election(ids, seed=args.seed)
+        print(f"ring election over ids {ids}: leader {max(ids)} "
+              f"(seen by all {len(leaders)} stations: "
+              f"{set(leaders.values()) == {max(ids)}})")
+        return 0
+    print(f"unknown demo {args.scenario!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scripts (Francez & Hailpern, PODC 1983) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list shipped figure sources"
+                   ).set_defaults(handler=cmd_figures)
+
+    show = sub.add_parser("show", help="print a figure's source")
+    show.add_argument("figure", choices=sorted(FIGURES))
+    show.set_defaults(handler=cmd_show)
+
+    check = sub.add_parser("check", help="parse + check a script file")
+    check.add_argument("file")
+    check.set_defaults(handler=cmd_check)
+
+    lint = sub.add_parser("lint", help="communication lint for a script")
+    lint.add_argument("file")
+    lint.set_defaults(handler=cmd_lint)
+
+    fmt = sub.add_parser("format", help="pretty-print a script file")
+    fmt.add_argument("file")
+    fmt.set_defaults(handler=cmd_format)
+
+    demo = sub.add_parser("demo", help="run a built-in scenario")
+    demo.add_argument("scenario", choices=["broadcast", "lock", "election"])
+    demo.add_argument("--n", type=int, default=5)
+    demo.add_argument("--strategy", default="star",
+                      choices=["star", "star_nondet", "pipeline", "tree"])
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Ada-style tasking substrate: tasks, entries, rendezvous, selective wait."""
+
+from .tasking import (DELAY_TAKEN, ELSE_TAKEN, TERMINATE_TAKEN, TIMED_OUT,
+                      AcceptedCall, AdaSystem, Alternative, TaskContext,
+                      when)
+
+__all__ = [
+    "AcceptedCall",
+    "AdaSystem",
+    "Alternative",
+    "DELAY_TAKEN",
+    "ELSE_TAKEN",
+    "TERMINATE_TAKEN",
+    "TIMED_OUT",
+    "TaskContext",
+    "when",
+]

@@ -1,0 +1,52 @@
+"""The script construct: the paper's central contribution.
+
+Public surface:
+
+* :class:`ScriptDef` — declare roles, parameters, policies, critical sets.
+* :class:`ScriptInstance` — one runtime instance; its :meth:`enroll` is the
+  ``ENROLL IN s AS r(params) WITH [...]`` operation.
+* :class:`RoleContext` — what role bodies use to communicate role-to-role.
+* :class:`Param`, :class:`Mode`, :class:`Ref` — data parameters.
+* :class:`Initiation`, :class:`Termination`, :class:`UnfilledPolicy`,
+  :data:`UNFILLED` — the Section II policy space.
+"""
+
+from .context import (ALL_ABSENT, ReceiveFrom, RoleContext, RoleSelectResult,
+                      SendTo)
+from .enrollment import EnrollmentRequest, normalize_partners
+from .instance import ScriptInstance, SealPolicy
+from .params import Cell, Mode, Param, Ref
+from .performance import Performance, RoleAddress
+from .policies import UNFILLED, Initiation, Termination, UnfilledPolicy
+from .roles import (RoleFamily, RoleId, RoleSpec, family_member, family_of,
+                    is_family_member)
+from .script import ScriptDef
+
+__all__ = [
+    "ALL_ABSENT",
+    "Cell",
+    "EnrollmentRequest",
+    "Initiation",
+    "Mode",
+    "Param",
+    "Performance",
+    "ReceiveFrom",
+    "Ref",
+    "RoleAddress",
+    "RoleContext",
+    "RoleFamily",
+    "RoleId",
+    "RoleSelectResult",
+    "RoleSpec",
+    "ScriptDef",
+    "ScriptInstance",
+    "SealPolicy",
+    "SendTo",
+    "Termination",
+    "UNFILLED",
+    "UnfilledPolicy",
+    "family_member",
+    "family_of",
+    "is_family_member",
+    "normalize_partners",
+]

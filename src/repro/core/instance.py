@@ -1,0 +1,338 @@
+"""Script instances: the enrollment coordinator and the enroll operation.
+
+A :class:`ScriptInstance` is one runtime instantiation of a
+:class:`~repro.core.script.ScriptDef` on a scheduler.  It owns the pool of
+pending enrollment requests and the sequence of performances, and it
+enforces the paper's lifecycle rules:
+
+* **initiation** — delayed (batch-match the pool for a consistent,
+  critical-set-covering joint enrollment) or immediate (a performance
+  begins at its first enrollment; later requests join incrementally);
+* **sealing** — once a critical role set is covered, the participant set is
+  final and still-unfilled roles become absent;
+* **termination** — immediate (each process freed as its role ends) or
+  delayed (all freed together when the performance ends);
+* **successive activations** — a new performance forms only after the
+  current one has ended (Figures 1 and 2).
+
+Design note: the coordinator is *passive* — plain data manipulated from
+within the enrolling processes' own steps, not an extra process.  The paper
+criticises central-administrator implementations for "generating additional
+processes when executing a script"; the library's built-in coordinator adds
+none (the Section IV supervisor translations, which do add processes, are
+implemented separately in :mod:`repro.translation` as existence proofs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Hashable, Mapping
+
+from ..errors import PerformanceError
+from ..runtime import DropAlias, EventKind, GetName, Scheduler, WaitUntil
+from .context import RoleContext
+from .enrollment import (EnrollmentRequest, RequestState, normalize_partners)
+from .matching import consistent_extension, solve
+from .params import bind_formals, copy_back, validate_actuals
+from .performance import Performance
+from .policies import Initiation, Termination, UnfilledPolicy
+from .roles import RoleFamily, RoleId, family_member
+from .script import ScriptDef
+
+Body = Generator[Any, Any, Any]
+
+_instance_counter = itertools.count(1)
+
+
+class SealPolicy:
+    """When an immediate-initiation performance seals its participant set.
+
+    ``EAGER`` (the default) seals the moment a critical role set is
+    covered.  ``MANUAL`` leaves the performance open until
+    :meth:`ScriptInstance.seal_current` is called (used by open-ended
+    scripts whose membership is decided at run time, Section V).
+    """
+
+    EAGER = "eager"
+    MANUAL = "manual"
+
+
+class ScriptInstance:
+    """One runtime instance of a script on a scheduler."""
+
+    def __init__(self, script: ScriptDef, scheduler: Scheduler,
+                 name: str | None = None,
+                 allow_multi_role: bool | None = None,
+                 unfilled: UnfilledPolicy | None = None,
+                 seal_policy: str = SealPolicy.EAGER):
+        self.script = script
+        self.scheduler = scheduler
+        self.name = name or f"{script.name}@{next(_instance_counter)}"
+        self.unfilled = unfilled if unfilled is not None else script.unfilled
+        if allow_multi_role is None:
+            allow_multi_role = (script.initiation is Initiation.IMMEDIATE and
+                                script.termination is Termination.IMMEDIATE)
+        elif allow_multi_role and not (
+                script.initiation is Initiation.IMMEDIATE
+                and script.termination is Termination.IMMEDIATE):
+            raise PerformanceError(
+                "a process may enroll in several roles of one performance "
+                "only under immediate initiation and immediate termination")
+        self.allow_multi_role = allow_multi_role
+        if seal_policy not in (SealPolicy.EAGER, SealPolicy.MANUAL):
+            raise PerformanceError(f"unknown seal policy {seal_policy!r}")
+        self.seal_policy = seal_policy
+        self.pool: list[EnrollmentRequest] = []
+        self.current: Performance | None = None
+        self.performances: list[Performance] = []
+        self._perf_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def enroll(self, role: RoleId, partners: Mapping[RoleId, Any] | None = None,
+               withdraw_when: Any = None, **actuals: Any) -> Body:
+        """Enroll the running process in ``role`` (a generator operation).
+
+        ``role`` names a singleton role, a concrete family member
+        ``(family, index)``, or a family by bare name ("any free index").
+        ``partners`` optionally names required partners per role id —
+        a process name, or a list/set of acceptable names (disjunctive
+        naming).  ``actuals`` supply the role's data parameters; pass a
+        :class:`~repro.core.params.Ref` for ``OUT``/``IN_OUT`` results.
+
+        ``withdraw_when`` optionally supplies a predicate; if it becomes
+        true while the request is still pooled, the enrollment is cancelled
+        and ``None`` is returned (a conditional-enrollment guard; the paper
+        notes the immediate/delayed termination distinction "is crucial if
+        script enrollment is to be allowed to act as a guard").
+
+        The role body executes as a logical continuation of the enrolling
+        process.  Returns the dict of final ``OUT``/``IN_OUT`` values.
+        """
+        declaration = self.script.declaration_for(role)
+        validate_actuals(role, declaration.params, actuals)
+        process = yield GetName()
+        request = EnrollmentRequest(
+            process=process, role_id=role, actuals=dict(actuals),
+            partners=normalize_partners(partners))
+        self._submit(request)
+        if withdraw_when is None:
+            yield WaitUntil(lambda: request.assigned,
+                            f"enrollment in {self.name} as {role!r}")
+        else:
+            yield WaitUntil(lambda: request.assigned or withdraw_when(),
+                            f"enrollment in {self.name} as {role!r} "
+                            f"(withdrawable)")
+            if not request.assigned:
+                self._withdraw(request)
+                return None
+        performance = request.performance
+        role_id = request.assigned_role
+        bound = bind_formals(declaration.params, actuals)
+        context = RoleContext(self, performance, role_id, process)
+        self._emit(EventKind.ROLE_START, process, role=role_id,
+                   performance=performance.id)
+        yield from declaration.body(context, **bound)
+        self._role_finished(performance, role_id, process)
+        if self.script.termination is Termination.DELAYED:
+            yield WaitUntil(lambda: performance.ended,
+                            f"delayed termination of {performance.id}")
+        yield DropAlias(performance.address(role_id))
+        return copy_back(declaration.params, bound, actuals)
+
+    def _withdraw(self, request: EnrollmentRequest) -> None:
+        request.state = RequestState.WITHDRAWN
+        if request in self.pool:
+            self.pool.remove(request)
+        self._emit(EventKind.ENROLL_REQUEST, request.process,
+                   role=request.role_id, seq=request.seq, withdrawn=True)
+
+    def seal_current(self) -> None:
+        """Seal the current performance's participant set (manual sealing)."""
+        performance = self.current
+        if performance is None or not performance.started:
+            raise PerformanceError(f"{self.name}: no active performance to seal")
+        if not performance.sealed:
+            if not self._critical_covered(performance):
+                raise PerformanceError(
+                    f"{self.name}: cannot seal {performance.id}: no critical "
+                    f"role set is covered")
+            self._seal(performance)
+            self._check_ended(performance)
+
+    @property
+    def performance_count(self) -> int:
+        """Number of performances started so far."""
+        return len(self.performances)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of enrollment requests still pooled."""
+        return len(self.pool)
+
+    # ------------------------------------------------------------------
+    # Coordinator internals (plain synchronous state manipulation)
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: EventKind, process: Hashable, **details: Any) -> None:
+        self.scheduler.tracer.emit(self.scheduler.now, kind, process,
+                                   instance=self.name, **details)
+
+    def _submit(self, request: EnrollmentRequest) -> None:
+        self._emit(EventKind.ENROLL_REQUEST, request.process,
+                   role=request.role_id,
+                   partners={k: sorted(v, key=repr)
+                             for k, v in request.partners.items()},
+                   seq=request.seq)
+        self.pool.append(request)
+        self._progress()
+
+    def _progress(self) -> None:
+        """Drive the instance state machine to quiescence."""
+        if self.current is not None and self.current.ended:
+            self.current = None
+        if self.current is None and self.pool:
+            if self.script.initiation is Initiation.DELAYED:
+                self._try_activate_delayed()
+            else:
+                self._start_immediate_performance()
+        if (self.current is not None and not self.current.sealed
+                and self.script.initiation is Initiation.IMMEDIATE):
+            self._join_pending(self.current)
+            if (self.seal_policy == SealPolicy.EAGER
+                    and self._critical_covered(self.current)):
+                self._seal(self.current)
+                self._check_ended(self.current)
+
+    # -- delayed initiation -------------------------------------------------
+
+    def _try_activate_delayed(self) -> None:
+        open_families = self.script.open_families
+        assignment = solve(
+            self.pool, self.script.critical_sets,
+            self.script.closed_families,
+            {name: fam.min_count for name, fam in open_families.items()},
+            {name: fam.max_count for name, fam in open_families.items()},
+            self.script.closed_role_ids)
+        if assignment is None:
+            return
+        performance = Performance(self.name, next(self._perf_seq))
+        self.performances.append(performance)
+        bindings: dict[RoleId, EnrollmentRequest] = dict(assignment.bindings)
+        for family, members in assignment.family_members.items():
+            for offset, request in enumerate(
+                    sorted(members, key=lambda r: r.seq), start=1):
+                bindings[family_member(family, offset)] = request
+        performance.started = True
+        for role_id, request in bindings.items():
+            self._assign(performance, role_id, request)
+        self._seal(performance)
+        self._emit(EventKind.PERFORMANCE_START, None,
+                   performance=performance.id,
+                   binding={repr(r): p for r, p in
+                            performance.binding().items()})
+
+    # -- immediate initiation -------------------------------------------------
+
+    def _start_immediate_performance(self) -> None:
+        performance = Performance(self.name, next(self._perf_seq))
+        performance.started = True
+        self.performances.append(performance)
+        self.current = performance
+        self._emit(EventKind.PERFORMANCE_START, None,
+                   performance=performance.id, binding={})
+
+    def _join_pending(self, performance: Performance) -> None:
+        for request in sorted(self.pool, key=lambda r: r.seq):
+            if performance.sealed:
+                break
+            role_id = self._resolve_target(performance, request)
+            if role_id is None:
+                continue
+            if not consistent_extension(performance.filled, role_id, request,
+                                        self.allow_multi_role):
+                continue
+            self._assign(performance, role_id, request)
+            if (self.seal_policy == SealPolicy.EAGER
+                    and self._critical_covered(performance)):
+                self._seal(performance)
+
+    def _resolve_target(self, performance: Performance,
+                        request: EnrollmentRequest) -> RoleId | None:
+        """Concrete role id this request would fill now, or ``None``."""
+        target = request.role_id
+        if isinstance(target, str):
+            declaration = self.script.declarations[target]
+            if isinstance(declaration, RoleFamily):
+                if declaration.open:
+                    count = performance.family_count(target)
+                    if (declaration.max_count is not None
+                            and count >= declaration.max_count):
+                        return None
+                    indices = performance.family_indices(target)
+                    return family_member(target, (indices[-1] + 1)
+                                         if indices else 1)
+                for index in declaration.indices:
+                    candidate = family_member(target, index)
+                    if candidate not in performance.filled:
+                        return candidate
+                return None
+            return target if target not in performance.filled else None
+        return target if target not in performance.filled else None
+
+    # -- shared machinery -------------------------------------------------
+
+    def _assign(self, performance: Performance, role_id: RoleId,
+                request: EnrollmentRequest) -> None:
+        request.state = RequestState.ASSIGNED
+        request.performance = performance
+        request.assigned_role = role_id
+        performance.filled[role_id] = request
+        self.pool.remove(request)
+        if self.current is None:
+            self.current = performance
+        self.scheduler.add_alias(request.process, performance.address(role_id))
+        self._emit(EventKind.ENROLL_ACCEPT, request.process, role=role_id,
+                   performance=performance.id, seq=request.seq)
+
+    def _seal(self, performance: Performance) -> None:
+        performance.sealed = True
+
+    def _critical_covered(self, performance: Performance) -> bool:
+        open_families = self.script.open_families
+        for critical in self.script.critical_sets:
+            covered = True
+            for item in critical:
+                if isinstance(item, str) and item in open_families:
+                    if (performance.family_count(item)
+                            < open_families[item].min_count):
+                        covered = False
+                        break
+                elif item not in performance.filled:
+                    covered = False
+                    break
+            if covered:
+                return True
+        return False
+
+    def _role_finished(self, performance: Performance, role_id: RoleId,
+                       process: Hashable) -> None:
+        performance.done.add(role_id)
+        self._emit(EventKind.ROLE_END, process, role=role_id,
+                   performance=performance.id)
+        self._check_ended(performance)
+
+    def _check_ended(self, performance: Performance) -> None:
+        if (performance.sealed and not performance.ended
+                and performance.all_filled_done):
+            performance.ended = True
+            self._emit(EventKind.PERFORMANCE_END, None,
+                       performance=performance.id,
+                       filled=sorted(performance.filled, key=repr))
+            self._progress()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ScriptInstance {self.name} performances="
+                f"{len(self.performances)} pending={len(self.pool)}>")

@@ -1,0 +1,144 @@
+"""Role data parameters: modes, binding, and copy-back.
+
+The paper associates *data parameters* with each role; they are "bound at
+enrollment time to the corresponding actual parameters supplied by the
+enrolling process", with "parameter passing modes inherited from the host
+programming language".  We reproduce the three Ada modes the Section IV
+translation distinguishes (the start/stop entry split of Figure 10):
+
+* ``IN`` — value copied from the actual at enrollment;
+* ``OUT`` — value copied back to the actual at de-enrollment;
+* ``IN_OUT`` — both.
+
+Inside a role body, ``OUT`` and ``IN_OUT`` parameters appear as
+:class:`Cell` objects the body assigns through ``cell.value``; ``IN``
+parameters appear as plain values.  The enrolling process receives the final
+``OUT``/``IN_OUT`` values both as the return value of ``enroll`` (a dict)
+and, when it passed a :class:`Ref`, copied into the ref — the library
+analogue of a ``VAR`` actual parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Mapping, Sequence
+
+from ..errors import EnrollmentError, ScriptDefinitionError
+
+
+class Mode(enum.Enum):
+    """Parameter passing modes (Ada's in / out / in out)."""
+
+    IN = "in"
+    OUT = "out"
+    IN_OUT = "in out"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Param:
+    """Declaration of one formal data parameter of a role."""
+
+    name: str
+    mode: Mode = Mode.IN
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ScriptDefinitionError(
+                f"parameter name {self.name!r} is not a valid identifier")
+
+
+class Ref:
+    """A mutable actual-parameter cell (the caller's ``VAR`` variable).
+
+    Pass a ``Ref`` as the actual for an ``OUT`` or ``IN_OUT`` formal; after
+    enrollment returns, ``ref.value`` holds the role's final value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ref({self.value!r})"
+
+
+class Cell:
+    """A formal-parameter cell visible inside a role body.
+
+    The role body reads and assigns ``cell.value``; the enrollment machinery
+    copies the final value back out according to the parameter's mode.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Any = None):
+        self.name = name
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.name}={self.value!r})"
+
+
+def validate_actuals(role_id: Any, params: Sequence[Param],
+                     actuals: Mapping[str, Any]) -> None:
+    """Check that the supplied actuals fit the role's formals.
+
+    Every formal must be supplied unless it is pure ``OUT`` (whose actual
+    may be omitted or be a :class:`Ref`); unknown names are rejected.
+    """
+    formal_names = {p.name for p in params}
+    unknown = set(actuals) - formal_names
+    if unknown:
+        raise EnrollmentError(
+            f"role {role_id!r}: unknown parameter(s) {sorted(unknown)}; "
+            f"formals are {sorted(formal_names)}")
+    for param in params:
+        if param.mode in (Mode.IN, Mode.IN_OUT) and param.name not in actuals:
+            raise EnrollmentError(
+                f"role {role_id!r}: missing actual for {param.mode.value} "
+                f"parameter {param.name!r}")
+
+
+def bind_formals(params: Sequence[Param],
+                 actuals: Mapping[str, Any]) -> dict[str, Any]:
+    """Build the keyword arguments handed to the role body.
+
+    ``IN`` formals get the actual's current value (dereferencing a
+    :class:`Ref` actual); ``OUT``/``IN_OUT`` formals get a fresh
+    :class:`Cell` (pre-loaded with the actual's value for ``IN_OUT``).
+    """
+    bound: dict[str, Any] = {}
+    for param in params:
+        actual = actuals.get(param.name)
+        if isinstance(actual, Ref):
+            current = actual.value
+        else:
+            current = actual
+        if param.mode is Mode.IN:
+            bound[param.name] = current
+        elif param.mode is Mode.OUT:
+            bound[param.name] = Cell(param.name)
+        else:  # IN_OUT
+            bound[param.name] = Cell(param.name, current)
+    return bound
+
+
+def copy_back(params: Sequence[Param], bound: Mapping[str, Any],
+              actuals: Mapping[str, Any]) -> dict[str, Any]:
+    """Copy ``OUT``/``IN_OUT`` results out of the cells.
+
+    Returns the dict of final out-values and updates any :class:`Ref`
+    actuals in place.
+    """
+    out_values: dict[str, Any] = {}
+    for param in params:
+        if param.mode is Mode.IN:
+            continue
+        cell = bound[param.name]
+        out_values[param.name] = cell.value
+        actual = actuals.get(param.name)
+        if isinstance(actual, Ref):
+            actual.value = cell.value
+    return out_values

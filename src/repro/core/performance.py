@@ -1,0 +1,110 @@
+"""Performances: one collective activation of a script's roles.
+
+The paper calls "the collective activation of all the roles of a script a
+*performance*" and imposes the successive-activations rule: "all of the
+roles of a given performance must terminate before a subsequent performance
+of the same script can begin" (Figure 1).  A :class:`Performance` tracks the
+binding of processes to roles, which roles have finished, and which roles
+were left unfilled (absent) when the critical role set completed.
+
+Lifecycle flags:
+
+``started``
+    Roles may execute.  Immediate initiation starts the performance at its
+    first enrollment; delayed initiation starts it only once a critical
+    role set is consistently filled.
+``sealed``
+    The participant set is final: a critical role set is covered, so every
+    still-unfilled role is *absent* and reports ``terminated = true`` (the
+    paper's ``r.terminated`` function).  Late enrollments go to the next
+    performance.
+``ended``
+    Every filled role's body has finished; the successive-activations rule
+    then allows the next performance to form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable
+
+from .enrollment import EnrollmentRequest
+from .roles import RoleId, family_of
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RoleAddress:
+    """The rendezvous alias of one role within one performance."""
+
+    performance_id: str
+    role_id: RoleId
+
+    def __repr__(self) -> str:
+        return f"{self.performance_id}:{self.role_id!r}"
+
+
+class Performance:
+    """State of one performance of a script instance."""
+
+    def __init__(self, instance_name: str, seq: int):
+        self.instance_name = instance_name
+        self.seq = seq
+        self.id = f"{instance_name}/p{seq}"
+        self.filled: dict[RoleId, EnrollmentRequest] = {}
+        self.done: set[RoleId] = set()
+        self.started = False
+        self.sealed = False
+        self.ended = False
+
+    # -- addressing -------------------------------------------------------
+
+    def address(self, role_id: RoleId) -> RoleAddress:
+        """The rendezvous alias of ``role_id`` in this performance."""
+        return RoleAddress(self.id, role_id)
+
+    # -- queries ------------------------------------------------------------
+
+    def process_for(self, role_id: RoleId) -> Hashable | None:
+        """The process enrolled in ``role_id``, or ``None``."""
+        request = self.filled.get(role_id)
+        return request.process if request is not None else None
+
+    def binding(self) -> dict[RoleId, Hashable]:
+        """The full process-to-role binding."""
+        return {role: req.process for role, req in self.filled.items()}
+
+    def family_count(self, family: str) -> int:
+        """How many members of ``family`` are currently filled."""
+        return sum(1 for role in self.filled if family_of(role) == family)
+
+    def family_indices(self, family: str) -> list[int]:
+        """Sorted indices of the filled members of ``family``."""
+        return sorted(role[1] for role in self.filled
+                      if family_of(role) == family)
+
+    def is_absent(self, role_id: RoleId) -> bool:
+        """True when the participant set is final and ``role_id`` is not in it."""
+        return self.sealed and role_id not in self.filled
+
+    def role_terminated(self, role_id: RoleId) -> bool:
+        """The paper's ``r.terminated`` function (Section II / Figure 5).
+
+        False for unfilled roles while the critical set is incomplete; true
+        for absent roles once it completes; true for filled roles whose
+        body has finished.
+        """
+        if role_id in self.done:
+            return True
+        return self.is_absent(role_id)
+
+    @property
+    def all_filled_done(self) -> bool:
+        """Have all participating roles finished their bodies?"""
+        return set(self.filled) <= self.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("ended" if self.ended else
+                 "sealed" if self.sealed else
+                 "started" if self.started else "gathering")
+        return (f"<Performance {self.id} {state} filled={len(self.filled)} "
+                f"done={len(self.done)}>")

@@ -1,0 +1,67 @@
+"""Initiation, termination, and unfilled-role policies.
+
+Section II of the paper lays out the policy design space:
+
+* **Initiation** — ``DELAYED`` (all critical roles must enroll before any
+  role's body begins; enforces a global synchronisation) or ``IMMEDIATE``
+  (the script is activated by its first enrollment; a role is delayed only
+  when it attempts to communicate with an unfilled role).
+
+* **Termination** — ``DELAYED`` (all enrolled processes are freed together,
+  once every participating role has finished) or ``IMMEDIATE`` (each process
+  is freed as soon as its own role completes).
+
+* **Unfilled roles** — when a performance begins with a critical role set
+  that leaves some roles unfilled, attempts to communicate with those roles
+  would block forever.  The paper sketches two resolutions; we implement
+  both: ``DISTINGUISHED`` returns the :data:`UNFILLED` sentinel from the
+  attempted communication, ``ERROR`` raises
+  :class:`~repro.errors.UnfilledRoleError`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Initiation(enum.Enum):
+    """When a performance's roles may begin executing."""
+
+    DELAYED = "delayed"
+    IMMEDIATE = "immediate"
+
+
+class Termination(enum.Enum):
+    """When enrolled processes are freed from the script."""
+
+    DELAYED = "delayed"
+    IMMEDIATE = "immediate"
+
+
+class UnfilledPolicy(enum.Enum):
+    """What a communication with a definitely-unfilled role does."""
+
+    DISTINGUISHED = "distinguished"
+    ERROR = "error"
+
+
+class _Unfilled:
+    """Singleton distinguished value for communication with absent roles."""
+
+    _instance: "_Unfilled | None" = None
+
+    def __new__(cls) -> "_Unfilled":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNFILLED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The distinguished value returned by communications with absent roles
+#: under :attr:`UnfilledPolicy.DISTINGUISHED`.
+UNFILLED = _Unfilled()

@@ -1,0 +1,135 @@
+"""Role declarations: singleton roles and (possibly open) indexed families.
+
+A *role* is a formal process parameter of a script.  The paper permits
+"indexed families of roles in analogy to such families of actual processes"
+(``ROLE recipient [i:1..5]``), and Section V proposes *open-ended* scripts
+whose families have no fixed size until run time.  Both are declared here:
+
+* a singleton role is identified by its name (``"sender"``);
+* a member of a family is identified by ``(family_name, index)``;
+* a *closed* family fixes its index set at definition time;
+* an *open* family declares ``min_count``/``max_count`` bounds instead, and
+  members materialise as processes enroll.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Hashable, Iterable, Sequence
+
+from ..errors import ScriptDefinitionError
+from .params import Param
+
+#: Identifier of a role instance: a name, or (family_name, index).
+RoleId = Hashable
+
+#: A role body: generator function taking (RoleContext, **bound_params).
+RoleBody = Callable[..., Generator[Any, Any, Any]]
+
+
+def family_member(family: str, index: int) -> tuple[str, int]:
+    """The role id of member ``index`` of family ``family``."""
+    return (family, index)
+
+
+def is_family_member(role_id: RoleId) -> bool:
+    """True when ``role_id`` names a family member rather than a singleton."""
+    return (isinstance(role_id, tuple) and len(role_id) == 2
+            and isinstance(role_id[0], str) and isinstance(role_id[1], int))
+
+
+def family_of(role_id: RoleId) -> str | None:
+    """The family name of a member id, or ``None`` for singletons."""
+    if is_family_member(role_id):
+        return role_id[0]
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class RoleSpec:
+    """A singleton role declaration."""
+
+    name: str
+    body: RoleBody
+    params: tuple[Param, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_param_names(self.name, self.params)
+
+    @property
+    def role_ids(self) -> list[RoleId]:
+        """The single id of this role."""
+        return [self.name]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoleFamily:
+    """An indexed family of roles sharing one body and parameter list.
+
+    ``indices`` fixes a closed family (``ROLE recipient [i:1..5]``).  An
+    *open* family (Section V's open-ended scripts) passes ``indices=None``
+    and bounds the per-performance membership with ``min_count`` /
+    ``max_count`` instead.
+    """
+
+    name: str
+    body: RoleBody
+    params: tuple[Param, ...] = ()
+    indices: tuple[int, ...] | None = None
+    min_count: int = 0
+    max_count: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_param_names(self.name, self.params)
+        if self.indices is not None:
+            if len(set(self.indices)) != len(self.indices):
+                raise ScriptDefinitionError(
+                    f"family {self.name!r}: duplicate indices")
+            if not self.indices:
+                raise ScriptDefinitionError(
+                    f"family {self.name!r}: empty index set")
+        else:
+            if self.min_count < 0:
+                raise ScriptDefinitionError(
+                    f"family {self.name!r}: negative min_count")
+            if self.max_count is not None and self.max_count < max(1, self.min_count):
+                raise ScriptDefinitionError(
+                    f"family {self.name!r}: max_count {self.max_count} below "
+                    f"min_count {self.min_count}")
+
+    @property
+    def open(self) -> bool:
+        """True for open-ended families (size fixed only at run time)."""
+        return self.indices is None
+
+    @property
+    def role_ids(self) -> list[RoleId]:
+        """All member ids of a closed family (open families have none yet)."""
+        if self.indices is None:
+            return []
+        return [family_member(self.name, i) for i in self.indices]
+
+    def contains(self, role_id: RoleId) -> bool:
+        """Whether ``role_id`` may denote a member of this family."""
+        if not is_family_member(role_id) or role_id[0] != self.name:
+            return False
+        if self.indices is None:
+            return True
+        return role_id[1] in self.indices
+
+
+RoleDecl = RoleSpec | RoleFamily
+
+
+def _check_param_names(owner: str, params: Sequence[Param]) -> None:
+    names = [p.name for p in params]
+    if len(set(names)) != len(names):
+        raise ScriptDefinitionError(f"role {owner!r}: duplicate parameter names")
+
+
+def expand_role_ids(declarations: Iterable[RoleDecl]) -> list[RoleId]:
+    """All statically known role ids of a script (open members excluded)."""
+    ids: list[RoleId] = []
+    for decl in declarations:
+        ids.extend(decl.role_ids)
+    return ids

@@ -1,0 +1,23 @@
+"""CSP substrate: synchronous naming communication with guarded commands.
+
+Implements the CSP fragment the paper embeds scripts into: output/input
+commands (``!``/``?``), guarded alternative and repetitive commands, process
+arrays, and the parallel command — all on the deterministic runtime kernel.
+"""
+
+from .commands import (AltResult, Guard, alternative, guard, inp, out,
+                       repetitive)
+from .processes import element, parallel, process_array
+
+__all__ = [
+    "AltResult",
+    "Guard",
+    "alternative",
+    "element",
+    "guard",
+    "inp",
+    "out",
+    "parallel",
+    "process_array",
+    "repetitive",
+]

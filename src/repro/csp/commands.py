@@ -1,0 +1,163 @@
+"""CSP communication commands and guarded commands.
+
+This module models the CSP fragment the paper relies on (Hoare 1978):
+
+* output commands ``P!expr`` — :func:`out`;
+* input commands ``P?x`` — :func:`inp`;
+* guarded alternative commands ``[g1 -> S1 [] g2 -> S2 ...]`` —
+  :func:`alternative`;
+* guarded repetitive commands ``*[...]`` — :func:`repetitive`.
+
+A guard has an optional boolean part and an optional communication part.
+Following the original CSP, input commands may appear in guards; following
+the Francez extension the paper cites ([2]), output commands may appear in
+guards as well (classic CSP forbade this), and input commands may leave the
+partner unnamed.
+
+Nondeterministic selection among simultaneously enabled guards is resolved
+by the scheduler's seeded RNG, with one documented refinement: a purely
+boolean guard (no communication part) is taken only when no communication
+guard can commit *immediately*; otherwise purely boolean guards would starve
+communication forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Hashable, Iterable, Sequence
+
+from ..errors import CSPError
+from ..runtime import (ELSE_BRANCH, Choice, Delay, QueryProcesses, Receive,
+                       Select, Send)
+
+#: Result type of :func:`alternative`: (guard index, received value or None).
+AltResult = tuple[int, Any]
+
+#: Virtual-time polling interval for the distributed termination convention.
+_DTC_POLL_INTERVAL = 1.0
+
+
+def out(destination: Hashable, value: Any, tag: Hashable = None) -> Send:
+    """The CSP output command ``destination!value``."""
+    return Send(destination, value, tag=tag)
+
+
+def inp(source: Hashable | None = None, tag: Hashable = None) -> Receive:
+    """The CSP input command ``source?x``.
+
+    ``source=None`` is the unnamed-partner extension: accept from anyone.
+    """
+    return Receive(source, tag=tag)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Guard:
+    """One guarded clause: boolean part, communication part, optional action.
+
+    ``action`` is invoked with the received value (or ``None`` for a send)
+    when the clause is selected inside :func:`repetitive`; it may be a plain
+    callable or a generator function whose effects are run in-line.
+    """
+
+    cond: bool = True
+    comm: Send | Receive | None = None
+    action: Callable[[Any], Any] | None = None
+
+
+def guard(cond: bool = True, comm: Send | Receive | None = None,
+          action: Callable[[Any], Any] | None = None) -> Guard:
+    """Convenience constructor for :class:`Guard`."""
+    return Guard(bool(cond), comm, action)
+
+
+def alternative(guards: Sequence[Guard],
+                immediate: bool = False) -> Generator[Any, Any, AltResult]:
+    """Execute a CSP alternative command over ``guards``.
+
+    Returns ``(index, value)`` where ``index`` is the position of the chosen
+    guard in ``guards`` and ``value`` is the received value (``None`` for
+    send guards and purely boolean guards).
+
+    Raises :class:`~repro.errors.CSPError` if no guard is enabled — the CSP
+    alternative command *fails* in that situation.
+
+    With ``immediate=True`` the command never blocks; if nothing can commit
+    at once the result is ``(ELSE_BRANCH, None)``.
+    """
+    guards = list(guards)
+    enabled = [(i, g) for i, g in enumerate(guards) if g.cond]
+    if not enabled:
+        raise CSPError("alternative command fails: no guard is enabled")
+
+    comm_clauses = [(i, g.comm) for i, g in enabled if g.comm is not None]
+    pure_clauses = [i for i, g in enabled if g.comm is None]
+
+    if pure_clauses:
+        if comm_clauses:
+            result = yield Select(tuple(c for _, c in comm_clauses),
+                                  immediate=True)
+            if result.index != ELSE_BRANCH:
+                return comm_clauses[result.index][0], result.value
+        index = yield Choice(tuple(pure_clauses))
+        return index, None
+
+    result = yield Select(tuple(c for _, c in comm_clauses),
+                          immediate=immediate)
+    if result.index == ELSE_BRANCH:
+        return ELSE_BRANCH, None
+    return comm_clauses[result.index][0], result.value
+
+
+def _run_action(action: Callable[[Any], Any] | None,
+                value: Any) -> Generator[Any, Any, None]:
+    """Run a guard action, supporting both plain and generator callables."""
+    if action is None:
+        return
+    outcome = action(value)
+    if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+        yield from outcome
+
+
+def repetitive(make_guards: Callable[[], Iterable[Guard]],
+               max_iterations: int | None = None,
+               partners: Iterable[Hashable] | None = None
+               ) -> Generator[Any, Any, int]:
+    """Execute a CSP repetitive command ``*[g1 -> S1 [] ...]``.
+
+    ``make_guards`` is re-evaluated before every iteration (guards capture
+    loop state).  The loop terminates — returning the number of iterations
+    performed — when every boolean guard part is false, which is CSP's
+    normal repetitive-command termination.  ``max_iterations`` guards
+    against unintended infinite loops in tests.
+
+    ``partners`` enables CSP's *distributed termination convention*: the
+    loop also terminates once every named partner process has finished,
+    even while boolean guards remain true.  (Without it, a server loop
+    over ``inp(client)`` guards would deadlock when its clients exit.)
+    The check is made before each blocking wait and whenever a wait could
+    block forever.
+    """
+    partner_names = tuple(partners) if partners is not None else None
+    iterations = 0
+    while True:
+        guards = list(make_guards())
+        if not any(g.cond for g in guards):
+            return iterations
+        if partner_names is not None:
+            statuses = yield QueryProcesses(partner_names)
+            if all(statuses.values()):
+                return iterations
+            # Poll: try to commit immediately; if nothing is ready, wait a
+            # moment and re-check partner liveness rather than blocking
+            # forever on partners that may exit.
+            index, value = yield from alternative(guards, immediate=True)
+            if index == ELSE_BRANCH:
+                yield Delay(_DTC_POLL_INTERVAL)
+                continue
+        else:
+            index, value = yield from alternative(guards)
+        yield from _run_action(guards[index].action, value)
+        iterations += 1
+        if max_iterations is not None and iterations >= max_iterations:
+            raise CSPError(
+                f"repetitive command exceeded {max_iterations} iterations")

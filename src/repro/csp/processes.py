@@ -1,0 +1,54 @@
+"""CSP process naming helpers: process arrays and parallel commands.
+
+CSP programs are parallel commands ``[P1 || P2 || ... || Pn]`` over named
+processes, including *arrays* of processes ``recipient(i: 1..5)`` where each
+element knows its own index.  This module provides the naming conventions
+used throughout the reproduction: an array element is addressed by the tuple
+``(array_name, index)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Hashable, Mapping
+
+from ..runtime import RunResult, Scheduler, Tracer
+from ..runtime.scheduler import Transport
+
+ProcessFactory = Callable[..., Generator[Any, Any, Any]]
+
+
+def element(array_name: str, index: int) -> tuple[str, int]:
+    """Address of element ``index`` of process array ``array_name``."""
+    return (array_name, index)
+
+
+def process_array(array_name: str, count: int, factory: ProcessFactory,
+                  start: int = 1) -> dict[Hashable, Generator[Any, Any, Any]]:
+    """Instantiate a CSP process array.
+
+    ``factory(i)`` builds the body of element ``i``; indices run from
+    ``start`` to ``start + count - 1`` (CSP arrays are 1-based in the
+    paper's figures).  Returns a mapping from element addresses to bodies,
+    suitable for merging into a parallel command.
+    """
+    return {element(array_name, i): factory(i)
+            for i in range(start, start + count)}
+
+
+def parallel(processes: Mapping[Hashable, Generator[Any, Any, Any]],
+             seed: int = 0, max_steps: int = 1_000_000,
+             transport: Transport | None = None,
+             tracer: Tracer | None = None,
+             scheduler: Scheduler | None = None) -> RunResult:
+    """Execute the CSP parallel command ``[P1 || ... || Pn]``.
+
+    All processes start together and the command terminates when every
+    process has terminated.  Deadlock raises
+    :class:`~repro.errors.DeadlockError`.
+    """
+    if scheduler is None:
+        scheduler = Scheduler(seed=seed, max_steps=max_steps,
+                              transport=transport, tracer=tracer)
+    for name, body in processes.items():
+        scheduler.spawn(name, body)
+    return scheduler.run()

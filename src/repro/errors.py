@@ -1,0 +1,164 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime kernel errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeKernelError(ReproError):
+    """Base class for errors raised by the cooperative runtime kernel."""
+
+
+class DeadlockError(RuntimeKernelError):
+    """The system cannot make progress.
+
+    Raised when the ready queue and timer queue are both empty while one or
+    more processes remain blocked.  The ``blocked`` attribute describes each
+    blocked process and the effect it is waiting on, which makes the error
+    message a useful deadlock diagnostic by itself.
+    """
+
+    def __init__(self, blocked: dict[object, str]):
+        self.blocked = dict(blocked)
+        lines = ", ".join(f"{name}: {why}" for name, why in sorted(
+            self.blocked.items(), key=lambda kv: str(kv[0])))
+        super().__init__(f"deadlock among {len(self.blocked)} process(es): {lines}")
+
+
+class ProcessFailure(RuntimeKernelError):
+    """A process raised an uncaught exception.
+
+    The scheduler wraps the original exception so that the failing process
+    can be identified; the original is available as ``__cause__``.
+    """
+
+    def __init__(self, process_name: object, original: BaseException):
+        self.process_name = process_name
+        self.original = original
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.__cause__ = original
+
+
+class InvalidEffectError(RuntimeKernelError):
+    """A process yielded something the scheduler does not understand."""
+
+
+class StepLimitExceeded(RuntimeKernelError):
+    """The scheduler executed more steps than the configured maximum.
+
+    This usually indicates a livelock (for example, two processes polling
+    each other forever) rather than a deadlock.
+    """
+
+
+class UnknownProcessError(RuntimeKernelError):
+    """An operation referenced a process name that is not registered."""
+
+
+# ---------------------------------------------------------------------------
+# Script (core) errors
+# ---------------------------------------------------------------------------
+
+
+class ScriptError(ReproError):
+    """Base class for errors in the script abstraction layer."""
+
+
+class ScriptDefinitionError(ScriptError):
+    """A script definition is malformed (duplicate roles, bad critical set...)."""
+
+
+class EnrollmentError(ScriptError):
+    """An enrollment request is invalid or cannot be honoured."""
+
+
+class RoleBindingError(ScriptError):
+    """Partner-naming constraints of co-enrolled processes are inconsistent."""
+
+
+class UnfilledRoleError(ScriptError):
+    """A role communicated with an unfilled role outside the critical set.
+
+    Per the paper (Section II, "Critical Role Set"), one resolution strategy
+    is that communication with an unfilled role returns a distinguished
+    value; when that strategy is disabled, this error is raised instead.
+    """
+
+
+class PerformanceError(ScriptError):
+    """A performance lifecycle rule was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Host-language substrate errors
+# ---------------------------------------------------------------------------
+
+
+class CSPError(ReproError):
+    """Errors from the CSP substrate (bad guard structure, naming, ...)."""
+
+
+class AdaError(ReproError):
+    """Errors from the Ada-like tasking substrate."""
+
+
+class MonitorError(ReproError):
+    """Errors from the monitor substrate."""
+
+
+# ---------------------------------------------------------------------------
+# Script-language (Section III syntax) errors
+# ---------------------------------------------------------------------------
+
+
+class ScriptLangError(ReproError):
+    """Base class for the Pascal-like script language front end."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = f" at line {line}" if line is not None else ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        super().__init__(message + location)
+
+
+class LexError(ScriptLangError):
+    """The script source contains an unrecognised token."""
+
+
+class ParseError(ScriptLangError):
+    """The script source is syntactically invalid."""
+
+
+class SemanticError(ScriptLangError):
+    """The script source is well-formed but semantically invalid."""
+
+
+class InterpreterError(ScriptLangError):
+    """A runtime error occurred while interpreting script-language code."""
+
+
+# ---------------------------------------------------------------------------
+# Verification errors
+# ---------------------------------------------------------------------------
+
+
+class VerificationError(ReproError):
+    """A checked property does not hold on the observed trace."""
+
+    def __init__(self, property_name: str, detail: str):
+        self.property_name = property_name
+        self.detail = detail
+        super().__init__(f"property {property_name!r} violated: {detail}")

@@ -1,0 +1,286 @@
+"""Semantic analysis for parsed script programs.
+
+Checks performed before a program is compiled onto the engine:
+
+* role names are unique; role references (``SEND``/``RECEIVE``/
+  ``.terminated``/``CRITICAL``) resolve to declared roles, with an index
+  exactly when the target is a family;
+* every name read or assigned in a role body is declared (parameter,
+  variable, family index variable, replicator variable, script constant, or
+  an enum member);
+* only ``VAR`` parameters and local variables may be assigned;
+* constants and family bounds are compile-time evaluable.
+
+The analysis returns a :class:`ProgramInfo` carrying the resolved constant
+values, family bounds, and the set of enum member names — everything the
+interpreter needs beyond the AST itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import SemanticError
+from . import ast_nodes as ast
+
+#: Builtin function names usable in expressions.
+BUILTINS = frozenset({"SIZE", "TAG"})
+
+
+@dataclasses.dataclass
+class ProgramInfo:
+    """Facts the analysis derives for the interpreter."""
+
+    constants: dict[str, int]
+    family_bounds: dict[str, tuple[int, int]]   # family -> (low, high)
+    singleton_roles: frozenset[str]
+    enum_members: frozenset[str]
+
+
+def _const_eval(expr: ast.Expr, constants: dict[str, int]) -> int:
+    """Evaluate a compile-time integer expression."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.ident in constants:
+            return constants[expr.ident]
+        raise SemanticError(f"unknown constant {expr.ident!r}", expr.line)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_const_eval(expr.operand, constants)
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*", "/"):
+        left = _const_eval(expr.left, constants)
+        right = _const_eval(expr.right, constants)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if right == 0:
+            raise SemanticError("division by zero in constant", expr.line)
+        return left // right
+    raise SemanticError("expression is not compile-time constant",
+                        getattr(expr, "line", None))
+
+
+def _collect_enum_members(program: ast.ScriptProgram) -> set[str]:
+    members: set[str] = set()
+
+    def visit_type(node: ast.TypeNode) -> None:
+        if isinstance(node, ast.EnumType):
+            members.update(node.members)
+        elif isinstance(node, ast.ArrayType):
+            visit_type(node.element)
+
+    for role in program.roles:
+        for param in role.params:
+            visit_type(param.type)
+        for var in role.variables:
+            visit_type(var.type)
+    return members
+
+
+class _RoleChecker:
+    """Checks one role body's statements and expressions."""
+
+    def __init__(self, program: ast.ScriptProgram, info: ProgramInfo,
+                 role: ast.RoleDeclNode):
+        self.program = program
+        self.info = info
+        self.role = role
+        self.assignable = {p.name for p in role.params if p.is_var}
+        self.assignable.update(v.name for v in role.variables)
+        self.readable = set(self.assignable)
+        self.readable.update(p.name for p in role.params)
+        if role.index_var:
+            self.readable.add(role.index_var)
+
+    # -- scope handling -----------------------------------------------------
+
+    def check(self) -> None:
+        self._check_stmts(self.role.body, set())
+
+    def _check_stmts(self, stmts: tuple[ast.Stmt, ...],
+                     extra: set[str]) -> None:
+        for stmt in stmts:
+            self._check_stmt(stmt, extra)
+
+    def _check_stmt(self, stmt: ast.Stmt, extra: set[str]) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._check_target(stmt.target, extra)
+            self._check_expr(stmt.value, extra)
+        elif isinstance(stmt, ast.SendStmt):
+            self._check_expr(stmt.value, extra)
+            self._check_role_ref(stmt.target, extra)
+        elif isinstance(stmt, ast.ReceiveStmt):
+            self._check_target(stmt.target, extra)
+            self._check_role_ref(stmt.source, extra)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_expr(stmt.condition, extra)
+            self._check_stmts(stmt.then_body, extra)
+            if stmt.else_body is not None:
+                self._check_stmts(stmt.else_body, extra)
+        elif isinstance(stmt, ast.GuardedDo):
+            inner = set(extra)
+            if stmt.replicator is not None:
+                var, low, high = stmt.replicator
+                self._check_expr(low, extra)
+                self._check_expr(high, extra)
+                inner.add(var)
+            for arm in stmt.arms:
+                if arm.condition is not None:
+                    self._check_expr(arm.condition, inner)
+                if arm.comm is not None:
+                    self._check_stmt(arm.comm, inner)
+                self._check_stmts(arm.body, inner)
+        elif isinstance(stmt, ast.SkipStmt):
+            pass
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement {stmt!r}")
+
+    def _check_target(self, target: ast.Designator, extra: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in extra:
+                raise SemanticError(
+                    f"cannot assign to replicator variable {name!r}",
+                    target.line)
+            if name not in self.assignable:
+                if name in self.readable:
+                    raise SemanticError(
+                        f"cannot assign to non-VAR parameter {name!r}",
+                        target.line)
+                raise SemanticError(f"assignment to undeclared name {name!r}",
+                                    target.line)
+        elif isinstance(target, ast.Index):
+            if not isinstance(target.base, ast.Name):
+                raise SemanticError("only simple arrays are assignable",
+                                    target.line)
+            self._check_target(target.base, extra)
+            self._check_expr(target.index, extra)
+        else:
+            raise SemanticError(f"invalid assignment target {target!r}",
+                                getattr(target, "line", None))
+
+    def _check_role_ref(self, ref: ast.RoleRef, extra: set[str]) -> None:
+        if ref.index is not None:
+            self._check_expr(ref.index, extra)
+        if ref.name in self.info.family_bounds:
+            if ref.index is None:
+                raise SemanticError(
+                    f"role family {ref.name!r} needs an index", ref.line)
+        elif ref.name in self.info.singleton_roles:
+            if ref.index is not None:
+                raise SemanticError(
+                    f"singleton role {ref.name!r} takes no index", ref.line)
+        else:
+            raise SemanticError(f"unknown role {ref.name!r}", ref.line)
+
+    def _check_expr(self, expr: ast.Expr, extra: set[str]) -> None:
+        if isinstance(expr, (ast.Num, ast.Bool, ast.Str)):
+            return
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if (name in self.readable or name in extra
+                    or name in self.info.constants
+                    or name in self.info.enum_members):
+                return
+            raise SemanticError(f"unknown name {name!r}", expr.line)
+        if isinstance(expr, ast.Index):
+            self._check_expr(expr.base, extra)
+            self._check_expr(expr.index, extra)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left, extra)
+            self._check_expr(expr.right, extra)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, extra)
+            return
+        if isinstance(expr, ast.SetLit):
+            for element in expr.elements:
+                self._check_expr(element, extra)
+            return
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._check_expr(arg, extra)
+            return
+        if isinstance(expr, ast.Terminated):
+            self._check_role_ref(expr.role, extra)
+            return
+        raise SemanticError(f"unknown expression {expr!r}",
+                            getattr(expr, "line", None))
+
+
+def analyze(program: ast.ScriptProgram) -> ProgramInfo:
+    """Check ``program`` and return the derived :class:`ProgramInfo`.
+
+    Raises :class:`~repro.errors.SemanticError` on the first problem.
+    """
+    constants: dict[str, int] = {}
+    for name, expr in program.constants:
+        if name in constants:
+            raise SemanticError(f"duplicate constant {name!r}")
+        constants[name] = _const_eval(expr, constants)
+
+    family_bounds: dict[str, tuple[int, int]] = {}
+    singletons: set[str] = set()
+    seen: set[str] = set()
+    for role in program.roles:
+        if role.name in seen:
+            raise SemanticError(f"duplicate role {role.name!r}", role.line)
+        seen.add(role.name)
+        if role.is_family:
+            low = _const_eval(role.index_low, constants)
+            high = _const_eval(role.index_high, constants)
+            if low > high:
+                raise SemanticError(
+                    f"family {role.name!r}: empty index range {low}..{high}",
+                    role.line)
+            family_bounds[role.name] = (low, high)
+        else:
+            singletons.add(role.name)
+    if not seen:
+        raise SemanticError("script declares no roles", program.line)
+
+    info = ProgramInfo(
+        constants=constants,
+        family_bounds=family_bounds,
+        singleton_roles=frozenset(singletons),
+        enum_members=frozenset(_collect_enum_members(program)))
+
+    for sets in program.critical_sets:
+        for item in sets:
+            if item.name in family_bounds:
+                if item.index is not None:
+                    index = _const_eval(item.index, constants)
+                    low, high = family_bounds[item.name]
+                    if not low <= index <= high:
+                        raise SemanticError(
+                            f"critical item {item.name}[{index}] out of "
+                            f"range {low}..{high}", item.line)
+            elif item.name in singletons:
+                if item.index is not None:
+                    raise SemanticError(
+                        f"singleton role {item.name!r} takes no index",
+                        item.line)
+            else:
+                raise SemanticError(f"unknown critical role {item.name!r}",
+                                    item.line)
+
+    for role in program.roles:
+        param_names = [p.name for p in role.params]
+        if len(set(param_names)) != len(param_names):
+            raise SemanticError(f"role {role.name!r}: duplicate parameters",
+                                role.line)
+        local_names = [v.name for v in role.variables]
+        if len(set(local_names)) != len(local_names):
+            raise SemanticError(f"role {role.name!r}: duplicate variables",
+                                role.line)
+        overlap = set(param_names) & set(local_names)
+        if overlap:
+            raise SemanticError(
+                f"role {role.name!r}: names {sorted(overlap)} are both "
+                f"parameters and variables", role.line)
+        _RoleChecker(program, info, role).check()
+    return info

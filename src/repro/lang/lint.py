@@ -1,0 +1,94 @@
+"""Static communication lint for script programs.
+
+Section V: "we believe scripts will simplify the specification of
+communication subsystems and make the verification of such systems more
+practical."  This module provides the first practical step: a static check
+of a script's *communication graph*.  For every ``SEND x TO r`` in role
+``p`` there should exist a ``RECEIVE ... FROM p`` somewhere in role ``r``
+(and vice versa); an unmatched communication is a send or receive that can
+never rendezvous — in the synchronous model, a guaranteed block.
+
+The check is intentionally conservative: indices are dynamic, so matching
+is by role/family *name*; directions under guards are treated as possible.
+Results are warnings, not errors — a role may legitimately guard an
+unmatched communication with ``r.terminated``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from . import ast_nodes as ast
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CommEdge:
+    """One potential communication: ``sender`` sends to ``receiver``."""
+
+    sender: str
+    receiver: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.sender} -> {self.receiver} (line {self.line})"
+
+
+def _walk_stmts(stmts: Iterable[ast.Stmt]):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, ast.IfStmt):
+            yield from _walk_stmts(stmt.then_body)
+            if stmt.else_body is not None:
+                yield from _walk_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.GuardedDo):
+            for arm in stmt.arms:
+                if arm.comm is not None:
+                    yield arm.comm
+                yield from _walk_stmts(arm.body)
+
+
+def communication_edges(program: ast.ScriptProgram
+                        ) -> tuple[set[CommEdge], set[CommEdge]]:
+    """The program's (sends, receives) as edges between role names.
+
+    A send edge ``p -> r`` comes from ``SEND ... TO r`` inside role ``p``;
+    a receive edge ``p -> r`` comes from ``RECEIVE ... FROM p`` inside
+    role ``r`` — both oriented sender-to-receiver, so a matched
+    communication appears in both sets (ignoring line numbers).
+    """
+    sends: set[CommEdge] = set()
+    receives: set[CommEdge] = set()
+    for role in program.roles:
+        for stmt in _walk_stmts(role.body):
+            if isinstance(stmt, ast.SendStmt):
+                sends.add(CommEdge(role.name, stmt.target.name, stmt.line))
+            elif isinstance(stmt, ast.ReceiveStmt):
+                receives.add(CommEdge(stmt.source.name, role.name,
+                                      stmt.line))
+    return sends, receives
+
+
+def lint_communications(program: ast.ScriptProgram) -> list[str]:
+    """Warnings for communications that can never find a partner.
+
+    Returns human-readable warnings; an empty list means every send has a
+    textually matching receive and vice versa.
+    """
+    sends, receives = communication_edges(program)
+    send_pairs = {(e.sender, e.receiver) for e in sends}
+    receive_pairs = {(e.sender, e.receiver) for e in receives}
+    warnings: list[str] = []
+    for edge in sorted(sends, key=lambda e: (e.line, e.sender)):
+        if (edge.sender, edge.receiver) not in receive_pairs:
+            warnings.append(
+                f"line {edge.line}: role {edge.sender!r} sends to "
+                f"{edge.receiver!r}, but {edge.receiver!r} never receives "
+                f"from {edge.sender!r} (send can never rendezvous)")
+    for edge in sorted(receives, key=lambda e: (e.line, e.receiver)):
+        if (edge.sender, edge.receiver) not in send_pairs:
+            warnings.append(
+                f"line {edge.line}: role {edge.receiver!r} receives from "
+                f"{edge.sender!r}, but {edge.sender!r} never sends to "
+                f"{edge.receiver!r} (receive can never rendezvous)")
+    return warnings

@@ -1,0 +1,197 @@
+"""Pretty-printer: AST back to Section III surface syntax.
+
+``format_program(parse_script(src))`` produces source that parses back to
+an equal AST (round-tripping is property-tested), which makes the printer
+usable for program transformation tooling and for generating script-language
+listings from programmatically built ASTs.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+def _type(node: ast.TypeNode) -> str:
+    if isinstance(node, ast.SimpleType):
+        return node.name
+    if isinstance(node, ast.EnumType):
+        return "(" + ", ".join(node.members) + ")"
+    if isinstance(node, ast.ArrayType):
+        return (f"ARRAY [{format_expr(node.low)}..{format_expr(node.high)}] "
+                f"OF {_type(node.element)}")
+    if isinstance(node, ast.SetType):
+        return f"SET OF [{format_expr(node.low)}..{format_expr(node.high)}]"
+    raise TypeError(f"unknown type node {node!r}")
+
+
+_BINARY_PRECEDENCE = {
+    "OR": 1, "AND": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4, "IN": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6,
+}
+
+
+def format_expr(node: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, parenthesising only where precedence demands."""
+    if isinstance(node, ast.Num):
+        return str(node.value)
+    if isinstance(node, ast.Bool):
+        return "true" if node.value else "false"
+    if isinstance(node, ast.Str):
+        return "'" + node.value.replace("'", "''") + "'"
+    if isinstance(node, ast.Name):
+        return node.ident
+    if isinstance(node, ast.Index):
+        return f"{format_expr(node.base, 9)}[{format_expr(node.index)}]"
+    if isinstance(node, ast.Binary):
+        precedence = _BINARY_PRECEDENCE[node.op]
+        # Comparisons are non-associative in the grammar: a nested
+        # comparison operand must be parenthesised on either side.
+        left_floor = precedence + 1 if precedence == 4 else precedence
+        text = (f"{format_expr(node.left, left_floor)} {node.op} "
+                f"{format_expr(node.right, precedence + 1)}")
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Unary):
+        operand = format_expr(node.operand, 8)
+        if node.op == "NOT":
+            text = f"NOT {operand}"
+        else:
+            text = f"-{operand}"
+        if parent_precedence > 3:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.SetLit):
+        if not node.elements:
+            return "[ ]"
+        return "[" + ", ".join(format_expr(e) for e in node.elements) + "]"
+    if isinstance(node, ast.Call):
+        return (node.name + "("
+                + ", ".join(format_expr(a) for a in node.args) + ")")
+    if isinstance(node, ast.Terminated):
+        return f"{_role_ref(node.role)}.terminated"
+    raise TypeError(f"unknown expression node {node!r}")
+
+
+def _role_ref(ref: ast.RoleRef) -> str:
+    if ref.index is None:
+        return ref.name
+    return f"{ref.name}[{format_expr(ref.index)}]"
+
+
+def _designator(node: ast.Designator) -> str:
+    return format_expr(node)
+
+
+def _stmt_lines(stmt: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{_designator(stmt.target)} := "
+                f"{format_expr(stmt.value)}"]
+    if isinstance(stmt, ast.SendStmt):
+        return [f"{pad}SEND {format_expr(stmt.value)} TO "
+                f"{_role_ref(stmt.target)}"]
+    if isinstance(stmt, ast.ReceiveStmt):
+        return [f"{pad}RECEIVE {_designator(stmt.target)} FROM "
+                f"{_role_ref(stmt.source)}"]
+    if isinstance(stmt, ast.SkipStmt):
+        return [f"{pad}SKIP"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}IF {format_expr(stmt.condition)} THEN"]
+        lines.extend(_block_lines(stmt.then_body, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}ELSE")
+            lines.extend(_block_lines(stmt.else_body, depth + 1))
+        return lines
+    if isinstance(stmt, ast.GuardedDo):
+        header = f"{pad}DO"
+        if stmt.replicator is not None:
+            var, low, high = stmt.replicator
+            header += (f" [{var} = {format_expr(low)}.."
+                       f"{format_expr(high)}]")
+        lines = [header]
+        for position, arm in enumerate(stmt.arms):
+            if position:
+                lines.append(f"{pad}[]")
+            lines.extend(_arm_lines(arm, depth + 1))
+        lines.append(f"{pad}OD")
+        return lines
+    raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def _arm_lines(arm: ast.GuardArm, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    guard_parts = []
+    if arm.condition is not None:
+        guard_parts.append(format_expr(arm.condition))
+    if arm.comm is not None:
+        comm_text = _stmt_lines(arm.comm, 0)[0]
+        guard_parts.append(comm_text)
+    guard = "; ".join(guard_parts) if guard_parts else "true"
+    lines = [f"{pad}{guard} ->"]
+    lines.extend(_stmts_lines(arm.body, depth + 1))
+    return lines
+
+
+def _stmts_lines(stmts: tuple[ast.Stmt, ...], depth: int) -> list[str]:
+    lines: list[str] = []
+    for position, stmt in enumerate(stmts):
+        stmt_lines = _stmt_lines(stmt, depth)
+        if position < len(stmts) - 1:
+            stmt_lines[-1] += ";"
+        lines.extend(stmt_lines)
+    if not lines:
+        lines.append(f"{_INDENT * depth}SKIP")
+    return lines
+
+
+def _block_lines(stmts: tuple[ast.Stmt, ...], depth: int) -> list[str]:
+    pad = _INDENT * (depth - 1)
+    return [f"{pad}BEGIN", *_stmts_lines(stmts, depth), f"{pad}END"]
+
+
+def _param(param: ast.ParamNode) -> str:
+    prefix = "VAR " if param.is_var else ""
+    return f"{prefix}{param.name} : {_type(param.type)}"
+
+
+def format_role(role: ast.RoleDeclNode, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    header = f"{pad}ROLE {role.name}"
+    if role.is_family:
+        header += (f" [{role.index_var}:{format_expr(role.index_low)}.."
+                   f"{format_expr(role.index_high)}]")
+    header += " (" + "; ".join(_param(p) for p in role.params) + ");"
+    lines = [header]
+    if role.variables:
+        lines.append(f"{pad}VAR")
+        for var in role.variables:
+            lines.append(f"{pad}{_INDENT}{var.name} : {_type(var.type)};")
+    lines.append(f"{pad}BEGIN")
+    lines.extend(_stmts_lines(role.body, depth + 1))
+    lines.append(f"{pad}END {role.name};")
+    return "\n".join(lines)
+
+
+def format_program(program: ast.ScriptProgram) -> str:
+    """Render a whole script program as source text."""
+    lines = [f"SCRIPT {program.name};"]
+    lines.append(f"{_INDENT}INITIATION: {program.initiation};")
+    lines.append(f"{_INDENT}TERMINATION: {program.termination};")
+    for name, expr in program.constants:
+        lines.append(f"{_INDENT}CONST {name} = {format_expr(expr)};")
+    for critical in program.critical_sets:
+        items = ", ".join(
+            item.name if item.index is None
+            else f"{item.name}[{format_expr(item.index)}]"
+            for item in critical)
+        lines.append(f"{_INDENT}CRITICAL: {items};")
+    lines.append("")
+    for role in program.roles:
+        lines.append(format_role(role))
+        lines.append("")
+    lines.append(f"END {program.name};")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Monitor substrate: mutual exclusion, WAIT UNTIL, and mailbox monitors."""
+
+from .mailbox import BoundedMailbox, Mailbox, SharedMailboxBank
+from .monitor import Monitor, procedure
+
+__all__ = [
+    "BoundedMailbox",
+    "Mailbox",
+    "Monitor",
+    "SharedMailboxBank",
+    "procedure",
+]

@@ -1,0 +1,120 @@
+"""The paper's mailbox monitor (Figure 12) and a bounded generalisation.
+
+Figure 12 defines a one-slot mailbox monitor with ``put`` blocking while the
+box is full and ``get`` blocking while it is empty.  :class:`Mailbox` is a
+faithful transliteration; :class:`BoundedMailbox` generalises the capacity,
+and :class:`SharedMailboxBank` packs several boxes behind a *single* monitor
+so the serialization penalty the paper warns about ("all access to any
+mailbox is serialized") can be demonstrated against the one-monitor-per-
+mailbox arrangement the script solution follows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from ..errors import MonitorError
+from .monitor import Monitor, procedure
+
+Body = Generator[Any, Any, Any]
+
+
+class Mailbox(Monitor):
+    """One-slot mailbox: the ``TYPE mailbox : MONITOR`` of Figure 12."""
+
+    def __init__(self, name: str = "mailbox"):
+        super().__init__(name)
+        self.contents: Any = None
+        self.status = "empty"
+
+    @procedure
+    def put(self, item: Any) -> Body:
+        """Deposit ``item``; blocks while the box is full."""
+        yield from self.wait_until(lambda: self.status == "empty",
+                                   f"{self.name} empty")
+        self.contents = item
+        self.status = "full"
+
+    @procedure
+    def get(self) -> Body:
+        """Withdraw the item; blocks while the box is empty."""
+        yield from self.wait_until(lambda: self.status == "full",
+                                   f"{self.name} full")
+        item = self.contents
+        self.contents = None
+        self.status = "empty"
+        return item
+
+
+class BoundedMailbox(Monitor):
+    """A FIFO mailbox with a fixed capacity (capacity 1 matches Figure 12)."""
+
+    def __init__(self, capacity: int, name: str = "bounded-mailbox"):
+        if capacity < 1:
+            raise MonitorError(f"capacity must be positive, got {capacity}")
+        super().__init__(name)
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @procedure
+    def put(self, item: Any) -> Body:
+        """Append ``item``; blocks while the box is at capacity."""
+        yield from self.wait_until(lambda: len(self._items) < self.capacity,
+                                   f"{self.name} has space")
+        self._items.append(item)
+
+    @procedure
+    def get(self) -> Body:
+        """Pop the oldest item; blocks while the box is empty."""
+        yield from self.wait_until(lambda: bool(self._items),
+                                   f"{self.name} nonempty")
+        return self._items.popleft()
+
+
+class SharedMailboxBank(Monitor):
+    """Several one-slot mailboxes behind a *single* monitor.
+
+    This is the paper's first (rejected) monitor implementation of the
+    mailbox broadcast: one black box, but every access to any mailbox is
+    serialized through the one monitor lock.
+    """
+
+    def __init__(self, count: int, name: str = "mailbox-bank"):
+        if count < 1:
+            raise MonitorError(f"count must be positive, got {count}")
+        super().__init__(name)
+        self._contents: list[Any] = [None] * count
+        self._status = ["empty"] * count
+
+    @property
+    def count(self) -> int:
+        """Number of mailboxes in the bank."""
+        return len(self._status)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._status):
+            raise MonitorError(f"mailbox index {index} out of range")
+
+    @procedure
+    def put(self, index: int, item: Any) -> Body:
+        """Deposit into box ``index``; serialized with every other access."""
+        self._check_index(index)
+        yield from self.wait_until(lambda: self._status[index] == "empty",
+                                   f"{self.name}[{index}] empty")
+        self._contents[index] = item
+        self._status[index] = "full"
+
+    @procedure
+    def get(self, index: int) -> Body:
+        """Withdraw from box ``index``; serialized with every other access."""
+        self._check_index(index)
+        yield from self.wait_until(lambda: self._status[index] == "full",
+                                   f"{self.name}[{index}] full")
+        item = self._contents[index]
+        self._contents[index] = None
+        self._status[index] = "empty"
+        return item

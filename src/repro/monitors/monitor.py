@@ -1,0 +1,120 @@
+"""Monitors with mutual exclusion and ``WAIT UNTIL`` condition synchronisation.
+
+The paper's third host is "a shared-variable language with monitors" whose
+monitor procedures may block on ``WAIT UNTIL <predicate>`` (Figure 12).  A
+:class:`Monitor` subclass declares its public procedures as generator
+methods decorated with :func:`procedure`; the decorator wraps each call in
+acquire/release of the monitor's lock, so at most one process executes any
+procedure of the monitor at a time — even across virtual-time delays, which
+is how the serialization cost of a single shared monitor becomes measurable
+(the Figure 12 benchmark).
+
+Inside a procedure, ``yield from self.wait_until(pred)`` atomically releases
+the monitor, blocks until the predicate holds, and re-acquires before
+re-checking — the classic condition-variable loop, with the predicate
+standing in for an explicitly signalled condition queue.
+
+Lock ownership is tracked by per-activation *tickets* so that an activation
+abandoned while blocked in ``wait_until`` (for example, when its process is
+killed) never releases a lock that a different activation now holds.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Generator
+
+from ..errors import MonitorError
+from ..runtime import WaitUntil
+
+Body = Generator[Any, Any, Any]
+
+
+class _Ticket:
+    """Identity of one procedure activation, for lock ownership."""
+
+    __slots__ = ()
+
+
+class Monitor:
+    """Base class for monitors.
+
+    Subclasses define state in ``__init__`` (calling ``super().__init__()``)
+    and generator-method procedures decorated with :func:`procedure`.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self._locked_by: _Ticket | None = None
+        self._entries = 0  # total procedure activations, for diagnostics
+
+    # -- locking ---------------------------------------------------------
+
+    def _acquire(self, ticket: _Ticket) -> Body:
+        # A woken waiter may lose the race to another acquirer that ran
+        # first; loop until the check-and-set succeeds (the set is atomic
+        # because the scheduler is cooperative).
+        while True:
+            yield WaitUntil(lambda: self._locked_by is None,
+                            f"monitor {self.name} free")
+            if self._locked_by is None:
+                self._locked_by = ticket
+                return
+
+    def _release(self, ticket: _Ticket) -> None:
+        if self._locked_by is not ticket:
+            raise MonitorError(
+                f"monitor {self.name} released by a non-owner activation")
+        self._locked_by = None
+
+    @property
+    def locked(self) -> bool:
+        """True while some process is inside the monitor."""
+        return self._locked_by is not None
+
+    # -- condition synchronisation ----------------------------------------
+
+    def wait_until(self, predicate: Callable[[], bool],
+                   description: str = "monitor condition") -> Body:
+        """The paper's ``WAIT UNTIL predicate`` statement.
+
+        Must only be called from within a :func:`procedure`-decorated method
+        (the monitor must be held).  Releases the monitor while blocked and
+        re-acquires it before returning.
+        """
+        ticket = self._locked_by
+        if ticket is None:
+            raise MonitorError(
+                f"wait_until outside a procedure of monitor {self.name}")
+        while True:
+            if predicate():
+                return
+            self._release(ticket)
+            yield WaitUntil(predicate, description)
+            yield from self._acquire(ticket)
+
+
+def procedure(method: Callable[..., Body]) -> Callable[..., Body]:
+    """Mark a generator method as a public monitor procedure.
+
+    The wrapper acquires the monitor before the body runs and releases it
+    afterwards (also on exceptions), giving the method monitor semantics.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: Monitor, *args: Any, **kwargs: Any) -> Body:
+        ticket = _Ticket()
+        yield from self._acquire(ticket)
+        self._entries += 1
+        try:
+            result = yield from method(self, *args, **kwargs)
+        finally:
+            # Skip the release if this activation does not hold the lock —
+            # that happens when the activation is abandoned (GeneratorExit)
+            # while parked inside wait_until.
+            if self._locked_by is ticket:
+                self._release(ticket)
+        return result
+
+    wrapper.__monitor_procedure__ = True  # type: ignore[attr-defined]
+    return wrapper

@@ -1,0 +1,85 @@
+"""Network transport: placement-aware latency and message accounting.
+
+A :class:`NetworkTransport` plugs into the scheduler's transport hook: every
+committed rendezvous is charged the shortest-path latency between the nodes
+hosting the two processes, and counted into :class:`MessageStats`.  Because
+the paper requires that "the role should be executed by the same processor
+on which the main body of the enrolling process is executed", placement maps
+*processes* to nodes — roles automatically inherit the placement of whoever
+enrolled, with no extra mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Hashable, Mapping, TYPE_CHECKING
+
+from .topology import Topology, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.board import Commit
+    from ..runtime.scheduler import Scheduler
+
+Node = Hashable
+
+
+@dataclasses.dataclass
+class MessageStats:
+    """Aggregate message accounting for one run."""
+
+    messages: int = 0
+    local_messages: int = 0       # same-node rendezvous (latency 0)
+    total_latency: float = 0.0
+    max_latency: float = 0.0
+    per_pair: Counter = dataclasses.field(default_factory=Counter)
+
+    def record(self, src: Node, dst: Node, latency: float) -> None:
+        """Account one rendezvous between ``src`` and ``dst``."""
+        self.messages += 1
+        if latency == 0:
+            self.local_messages += 1
+        self.total_latency += latency
+        self.max_latency = max(self.max_latency, latency)
+        self.per_pair[(src, dst)] += 1
+
+    @property
+    def remote_messages(self) -> int:
+        """Messages that crossed at least one link."""
+        return self.messages - self.local_messages
+
+
+class NetworkTransport:
+    """Scheduler transport hook backed by a :class:`Topology`.
+
+    ``placement`` maps process names to topology nodes.  Processes without
+    a placement use ``default_node`` when given, otherwise communication
+    involving them is an error — silent mis-placement would corrupt the
+    benchmark numbers.
+    """
+
+    def __init__(self, topology: Topology,
+                 placement: Mapping[Hashable, Node],
+                 default_node: Node | None = None):
+        self.topology = topology
+        self.placement = dict(placement)
+        self.default_node = default_node
+        self.stats = MessageStats()
+
+    def node_of(self, process: Hashable) -> Node:
+        node = self.placement.get(process, self.default_node)
+        if node is None:
+            raise TopologyError(f"process {process!r} has no placement on "
+                                f"{self.topology.name}")
+        return node
+
+    def place(self, process: Hashable, node: Node) -> None:
+        """Assign (or reassign) a process to a node."""
+        self.placement[process] = node
+
+    def __call__(self, scheduler: "Scheduler", commit: "Commit") -> float:
+        src = self.node_of(commit.sender.name)
+        dst = self.node_of(commit.receiver.name)
+        latency = self.topology.latency(src, dst)
+        self.stats.record(src, dst, latency)
+        return latency

@@ -1,0 +1,48 @@
+"""Deterministic cooperative concurrency kernel.
+
+This package is the substrate every other layer builds on: processes are
+generator functions yielding effect objects; a seeded scheduler with a
+virtual clock interprets the effects.  See :mod:`repro.runtime.effects` for
+the effect vocabulary and :mod:`repro.runtime.scheduler` for the execution
+model.
+"""
+
+from .board import Commit, RendezvousBoard
+from .effects import (ELSE_BRANCH, AddAlias, Choice, Delay, DropAlias,
+                      Effect, GetName, GetTime, QueryProcesses, Receive,
+                      ReceivedMessage, Select, SelectResult, Send, Spawn,
+                      Trace, WaitUntil)
+from .process import Process, ProcessState
+from .scheduler import RunResult, Scheduler, run_processes
+from .tracing import EventKind, TraceEvent, Tracer, format_trace
+
+__all__ = [
+    "AddAlias",
+    "Choice",
+    "Commit",
+    "Delay",
+    "DropAlias",
+    "ELSE_BRANCH",
+    "Effect",
+    "EventKind",
+    "GetName",
+    "GetTime",
+    "Process",
+    "ProcessState",
+    "QueryProcesses",
+    "Receive",
+    "ReceivedMessage",
+    "RendezvousBoard",
+    "RunResult",
+    "Scheduler",
+    "Select",
+    "SelectResult",
+    "Send",
+    "Spawn",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "WaitUntil",
+    "format_trace",
+    "run_processes",
+]

@@ -1,0 +1,226 @@
+"""The rendezvous board: pending communication offers and their matching.
+
+Synchronous communication is implemented as a matching market.  A blocked
+process contributes an *offer group* containing one offer per enabled
+branch (a plain send or receive is a group of one).  The board repeatedly
+looks for a send offer and a receive offer that agree on addressing and tag,
+commits one such pair (chosen by the scheduler's seeded RNG, which is where
+CSP's nondeterministic choice lives), and removes *all* offers of both
+processes involved — a process commits to at most one branch of a select.
+
+Offers address partners through *aliases*.  An offer to an alias that no
+live process currently owns simply stays pending; this directly implements
+the paper's immediate-initiation rule that "a role is delayed only if it
+attempts to communicate with an unfilled role": the role address becomes
+owned the moment a process enrolls, and matching is retried.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Iterable, TYPE_CHECKING
+
+from .effects import (ELSE_BRANCH, Receive, ReceivedMessage, Send,
+                      SelectResult)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import Process
+
+
+@dataclasses.dataclass(slots=True)
+class Offer:
+    """One enabled communication branch of a blocked process."""
+
+    group: "OfferGroup"
+    index: int                       # branch index within the select
+    is_send: bool
+    partner_alias: Hashable | None   # Send.to, or Receive.frm (may be None)
+    tag: Hashable
+    value: Any = None                # payload for sends
+    with_sender: bool = False        # receive wants (value, sender)
+    as_alias: Hashable | None = None # identity the sender presents
+
+
+@dataclasses.dataclass(slots=True)
+class OfferGroup:
+    """All offers of one blocked process, plus how to build its result."""
+
+    process: "Process"
+    offers: list[Offer]
+    plain: bool                      # a bare Send/Receive, not a Select
+
+    def describe(self) -> str:
+        """Human-readable account of what the process is waiting for."""
+        parts = []
+        for offer in self.offers:
+            if offer.is_send:
+                parts.append(f"send to {offer.partner_alias!r}")
+            elif offer.partner_alias is None:
+                parts.append("receive from anyone")
+            else:
+                parts.append(f"receive from {offer.partner_alias!r}")
+        return " | ".join(parts) or "empty select"
+
+
+def make_group(process: "Process", branches: Iterable[Send | Receive],
+               plain: bool, sender_alias: Hashable | None = None) -> OfferGroup:
+    """Build an :class:`OfferGroup` from effect branches.
+
+    ``sender_alias`` overrides the identity presented by send branches
+    (used by role contexts so partners observe role addresses, not process
+    names).
+    """
+    group = OfferGroup(process=process, offers=[], plain=plain)
+    for index, branch in enumerate(branches):
+        if isinstance(branch, Send):
+            group.offers.append(Offer(
+                group=group, index=index, is_send=True,
+                partner_alias=branch.to, tag=branch.tag, value=branch.value,
+                as_alias=branch.as_alias if branch.as_alias is not None
+                else sender_alias))
+        elif isinstance(branch, Receive):
+            group.offers.append(Offer(
+                group=group, index=index, is_send=False,
+                partner_alias=branch.frm, tag=branch.tag,
+                with_sender=branch.with_sender))
+        else:
+            raise TypeError(f"select branch must be Send or Receive, got {branch!r}")
+    return group
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Commit:
+    """A matched send/receive pair, ready to be performed."""
+
+    send: Offer
+    recv: Offer
+
+    @property
+    def sender(self) -> "Process":
+        """The process whose send offer matched."""
+        return self.send.group.process
+
+    @property
+    def receiver(self) -> "Process":
+        """The process whose receive offer matched."""
+        return self.recv.group.process
+
+
+class RendezvousBoard:
+    """Holds pending offer groups and finds matching pairs.
+
+    The board does not own the alias registry; the scheduler passes a
+    mapping from alias to owning process at matching time, because alias
+    ownership changes as roles are filled and vacated.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[Hashable, OfferGroup] = {}
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, process_name: Hashable) -> bool:
+        return process_name in self._groups
+
+    @property
+    def groups(self) -> dict[Hashable, OfferGroup]:
+        """Pending offer groups, keyed by blocked process name."""
+        return self._groups
+
+    def post(self, group: OfferGroup) -> None:
+        """Register a blocked process's offers."""
+        name = group.process.name
+        if name in self._groups:
+            raise RuntimeError(f"process {name!r} already has pending offers")
+        self._groups[name] = group
+
+    def withdraw(self, process_name: Hashable) -> OfferGroup | None:
+        """Remove and return the offers of ``process_name``, if any."""
+        return self._groups.pop(process_name, None)
+
+    def _matches(self, send: Offer, recv: Offer,
+                 owner: dict[Hashable, "Process"]) -> bool:
+        sender = send.group.process
+        receiver = recv.group.process
+        if sender is receiver:
+            return False
+        target = owner.get(send.partner_alias)
+        if target is not receiver:
+            return False
+        if recv.partner_alias is not None:
+            source = owner.get(recv.partner_alias)
+            if source is not sender:
+                return False
+        return send.tag == recv.tag
+
+    def candidates(self, owner: dict[Hashable, "Process"]) -> list[Commit]:
+        """All currently matchable send/receive pairs, in deterministic order."""
+        found: list[Commit] = []
+        for group in self._groups.values():
+            for offer in group.offers:
+                if not offer.is_send:
+                    continue
+                target = owner.get(offer.partner_alias)
+                if target is None:
+                    continue
+                peer_group = self._groups.get(target.name)
+                if peer_group is None:
+                    continue
+                for peer_offer in peer_group.offers:
+                    if peer_offer.is_send:
+                        continue
+                    if self._matches(offer, peer_offer, owner):
+                        found.append(Commit(send=offer, recv=peer_offer))
+        return found
+
+    def candidates_for(self, group: OfferGroup,
+                       owner: dict[Hashable, "Process"]) -> list[Commit]:
+        """Matchable pairs involving ``group`` (which need not be posted yet)."""
+        found: list[Commit] = []
+        for offer in group.offers:
+            if offer.is_send:
+                target = owner.get(offer.partner_alias)
+                if target is None or target.name not in self._groups:
+                    continue
+                for peer_offer in self._groups[target.name].offers:
+                    if not peer_offer.is_send and self._matches(offer, peer_offer, owner):
+                        found.append(Commit(send=offer, recv=peer_offer))
+            else:
+                for peer_group in self._groups.values():
+                    for peer_offer in peer_group.offers:
+                        if peer_offer.is_send and self._matches(peer_offer, offer, owner):
+                            found.append(Commit(send=peer_offer, recv=offer))
+        return found
+
+    def remove_parties(self, commit: Commit) -> None:
+        """Drop all offers of both processes involved in ``commit``."""
+        self._groups.pop(commit.sender.name, None)
+        self._groups.pop(commit.receiver.name, None)
+
+
+def resume_values(commit: Commit) -> tuple[Any, Any]:
+    """Build the (sender_result, receiver_result) for a committed pair."""
+    send, recv = commit.send, commit.recv
+    sender_identity = send.as_alias if send.as_alias is not None \
+        else commit.sender.name
+
+    if send.group.plain:
+        sender_result: Any = None
+    else:
+        sender_result = SelectResult(index=send.index)
+
+    if recv.group.plain:
+        if recv.with_sender:
+            receiver_result: Any = ReceivedMessage(send.value, sender_identity)
+        else:
+            receiver_result = send.value
+    else:
+        receiver_result = SelectResult(index=recv.index, value=send.value,
+                                       sender=sender_identity)
+    return sender_result, receiver_result
+
+
+def else_result() -> SelectResult:
+    """Result delivered when an immediate select takes its escape branch."""
+    return SelectResult(index=ELSE_BRANCH)

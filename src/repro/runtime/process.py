@@ -1,0 +1,86 @@
+"""Process objects for the runtime kernel.
+
+A process is a Python generator driven by the scheduler.  The generator
+yields :class:`~repro.runtime.effects.Effect` objects and is resumed with
+each effect's result.  Sub-behaviours compose with ``yield from``, which is
+how the script layer realises the paper's requirement that a role is "a
+logical continuation of the enrolling process": the role body is a
+sub-generator executed inside the enrolling process, not a separate process.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Hashable
+
+from ..errors import RuntimeKernelError
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a process."""
+
+    READY = "ready"        # runnable, waiting its turn in the ready queue
+    BLOCKED = "blocked"    # waiting on a rendezvous, timer, or condition
+    DONE = "done"          # generator returned (or was killed)
+    FAILED = "failed"      # generator raised an uncaught exception
+
+
+class Process:
+    """A scheduled generator with a name and a set of address aliases.
+
+    ``name`` is the primary address of the process.  ``aliases`` contains the
+    primary name plus any additional addresses (role addresses, for
+    instance) registered via the ``AddAlias`` effect.
+    """
+
+    def __init__(self, name: Hashable, body: ProcessBody):
+        if not hasattr(body, "send"):
+            raise RuntimeKernelError(
+                f"process {name!r} body must be a generator (did you call the "
+                f"generator function?), got {type(body).__name__}")
+        self.name = name
+        self.body = body
+        self.state = ProcessState.READY
+        self.aliases: set[Hashable] = {name}
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.killed = False
+        self.blocked_reason: str = ""
+        self.steps = 0
+        # Value or exception to deliver at the next resumption.
+        self._resume_value: Any = None
+        self._resume_exc: BaseException | None = None
+
+    def set_resume(self, value: Any = None) -> None:
+        """Arrange for the generator to be resumed with ``value``."""
+        self._resume_value = value
+        self._resume_exc = None
+
+    def set_resume_exception(self, exc: BaseException) -> None:
+        """Arrange for ``exc`` to be thrown into the generator."""
+        self._resume_value = None
+        self._resume_exc = exc
+
+    def advance(self) -> Any:
+        """Resume the generator once; return the yielded effect.
+
+        Raises ``StopIteration`` when the generator returns and propagates
+        any exception the generator raises.  The caller (the scheduler) is
+        responsible for state transitions.
+        """
+        self.steps += 1
+        if self._resume_exc is not None:
+            exc, self._resume_exc = self._resume_exc, None
+            return self.body.throw(exc)
+        value, self._resume_value = self._resume_value, None
+        return self.body.send(value)
+
+    @property
+    def finished(self) -> bool:
+        """True once the process can never run again."""
+        return self.state in (ProcessState.DONE, ProcessState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {self.state.value}>"

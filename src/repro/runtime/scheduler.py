@@ -1,0 +1,448 @@
+"""The deterministic cooperative scheduler.
+
+The scheduler owns a set of generator-based processes, a virtual clock, a
+rendezvous board for synchronous communication, a set of condition waiters,
+and a timer queue.  It runs processes one step at a time from a FIFO ready
+queue; all nondeterminism (choice among matchable rendezvous pairs, the
+``Choice`` effect) is drawn from a single seeded RNG, so a run is a pure
+function of the initial processes and the seed.
+
+Virtual time only advances when no process is runnable, exactly like a
+discrete-event simulator.  A *transport* hook may impose per-message latency
+(see :mod:`repro.net`), in which case both parties of a committed rendezvous
+resume after the latency has elapsed — the synchronous-communication analogue
+of a network link.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+from ..errors import (DeadlockError, InvalidEffectError, ProcessFailure,
+                      RuntimeKernelError, StepLimitExceeded,
+                      UnknownProcessError)
+from . import board as board_mod
+from .board import RendezvousBoard, make_group
+from .effects import (AddAlias, Choice, Delay, DropAlias, Effect, GetName,
+                      GetTime, QueryProcesses, Receive, Select, Send, Spawn,
+                      Trace, WaitUntil)
+from .process import Process, ProcessBody, ProcessState
+from .tracing import EventKind, Tracer
+
+#: Transport hook signature: given a committed pair, return message latency.
+Transport = Callable[["Scheduler", board_mod.Commit], float]
+
+
+class RunResult:
+    """Outcome of a scheduler run."""
+
+    def __init__(self, scheduler: "Scheduler"):
+        self.time = scheduler.now
+        self.steps = scheduler.total_steps
+        self.tracer = scheduler.tracer
+        self.results: dict[Hashable, Any] = {
+            p.name: p.result for p in scheduler.processes.values()
+            if p.state is ProcessState.DONE and not p.killed}
+        self.failures: dict[Hashable, BaseException] = {
+            p.name: p.error for p in scheduler.processes.values()
+            if p.state is ProcessState.FAILED}
+        self.killed: list[Hashable] = [
+            p.name for p in scheduler.processes.values() if p.killed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no process failed."""
+        return not self.failures
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RunResult time={self.time:g} steps={self.steps} "
+                f"done={len(self.results)} failed={len(self.failures)}>")
+
+
+class TimerHandle:
+    """Cancellation handle for a scheduled timer."""
+
+    __slots__ = ("action", "cancelled")
+
+    def __init__(self, action: Callable[[], None]):
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing (idempotent)."""
+        self.cancelled = True
+
+
+class _Waiter:
+    """A process blocked on a ``WaitUntil`` condition."""
+
+    __slots__ = ("process", "predicate", "description")
+
+    def __init__(self, process: Process, predicate: Callable[[], bool],
+                 description: str):
+        self.process = process
+        self.predicate = predicate
+        self.description = description
+
+
+class Scheduler:
+    """Deterministic cooperative scheduler with virtual time.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the scheduler's RNG; fixes all nondeterministic choices.
+    tracer:
+        Optional shared :class:`Tracer`; a fresh one is created by default.
+    max_steps:
+        Upper bound on total process resumptions, to catch livelocks.
+    fail_fast:
+        When true (the default), an uncaught exception in any process
+        aborts the run immediately with :class:`ProcessFailure`.
+    transport:
+        Optional latency hook applied to every committed rendezvous.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Tracer | None = None,
+                 max_steps: int = 1_000_000, fail_fast: bool = True,
+                 transport: Transport | None = None):
+        self.rng = random.Random(seed)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.max_steps = max_steps
+        self.fail_fast = fail_fast
+        self.transport = transport
+        self.now: float = 0.0
+        self.total_steps = 0
+        self.processes: dict[Hashable, Process] = {}
+        self.alias_owner: dict[Hashable, Process] = {}
+        self._ready: deque[Process] = deque()
+        self._board = RendezvousBoard()
+        self._waiters: dict[Hashable, _Waiter] = {}
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self._first_failure: ProcessFailure | None = None
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: Hashable, body: ProcessBody) -> Process:
+        """Register a new process and make it runnable."""
+        if name in self.processes and not self.processes[name].finished:
+            raise RuntimeKernelError(f"process name {name!r} already in use")
+        process = Process(name, body)
+        self.processes[name] = process
+        self._claim_alias(name, process)
+        self._ready.append(process)
+        self.tracer.emit(self.now, EventKind.SPAWN, name)
+        return process
+
+    def kill(self, name: Hashable) -> None:
+        """Terminate a process immediately (fault injection).
+
+        The process is marked done-with-kill; pending offers, waiters and
+        aliases are cleaned up so partners block (and possibly deadlock,
+        which is faithful to a crashed peer in a synchronous model).
+        """
+        process = self.processes.get(name)
+        if process is None:
+            raise UnknownProcessError(f"no process named {name!r}")
+        if process.finished:
+            return
+        process.killed = True
+        process.state = ProcessState.DONE
+        self._board.withdraw(name)
+        self._waiters.pop(name, None)
+        self._release_aliases(process)
+        self.tracer.emit(self.now, EventKind.PROC_DONE, name, killed=True)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> "TimerHandle":
+        """Run ``action()`` at virtual time ``time``.
+
+        Returns a :class:`TimerHandle` whose ``cancel()`` removes the timer;
+        cancelled timers neither fire nor hold the virtual clock back.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._push_timer(time, action)
+
+    def kill_at(self, time: float, name: Hashable) -> None:
+        """Schedule a process crash at virtual time ``time``."""
+        self.schedule_at(time, lambda: self.kill(name))
+
+    # ------------------------------------------------------------------
+    # Alias registry
+    # ------------------------------------------------------------------
+
+    def _claim_alias(self, alias: Hashable, process: Process) -> None:
+        current = self.alias_owner.get(alias)
+        if current is not None and not current.finished and current is not process:
+            raise RuntimeKernelError(
+                f"alias {alias!r} already owned by {current.name!r}")
+        self.alias_owner[alias] = process
+        process.aliases.add(alias)
+
+    def _release_alias(self, alias: Hashable, process: Process) -> None:
+        if self.alias_owner.get(alias) is process:
+            del self.alias_owner[alias]
+        process.aliases.discard(alias)
+
+    def _release_aliases(self, process: Process) -> None:
+        for alias in list(process.aliases):
+            self._release_alias(alias, process)
+
+    def add_alias(self, process_name: Hashable, alias: Hashable) -> None:
+        """Register an extra address for a process (scheduler-side API)."""
+        process = self.processes.get(process_name)
+        if process is None:
+            raise UnknownProcessError(f"no process named {process_name!r}")
+        self._claim_alias(alias, process)
+
+    def drop_alias(self, process_name: Hashable, alias: Hashable) -> None:
+        """Remove an extra address from a process (scheduler-side API)."""
+        process = self.processes.get(process_name)
+        if process is None:
+            raise UnknownProcessError(f"no process named {process_name!r}")
+        self._release_alias(alias, process)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> RunResult:
+        """Run until quiescence, deadlock, failure, or virtual time ``until``.
+
+        Returns a :class:`RunResult`.  Raises :class:`DeadlockError` when
+        blocked processes remain but nothing can ever wake them, and
+        :class:`ProcessFailure` (with ``fail_fast``) on the first uncaught
+        process exception.
+        """
+        while True:
+            if self._first_failure is not None and self.fail_fast:
+                raise self._first_failure
+            if not self._ready:
+                self._prune_timers()
+                if not self._timers:
+                    if self._board.groups or self._waiters:
+                        raise DeadlockError(self._blocked_summary())
+                    break
+                next_time = self._timers[0][0]
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self._advance_clock(next_time)
+                self._settle()
+                continue
+            process = self._ready.popleft()
+            if process.finished:
+                continue
+            self._step(process)
+            self._settle()
+        return RunResult(self)
+
+    def _blocked_summary(self) -> dict[Hashable, str]:
+        summary: dict[Hashable, str] = {}
+        for name, group in self._board.groups.items():
+            summary[name] = group.describe()
+        for name, waiter in self._waiters.items():
+            summary[name] = f"waiting until {waiter.description}"
+        return summary
+
+    def _prune_timers(self) -> None:
+        while self._timers and self._timers[0][2].cancelled:
+            heapq.heappop(self._timers)
+
+    def _advance_clock(self, to_time: float) -> None:
+        self.now = to_time
+        while self._timers and self._timers[0][0] <= self.now:
+            _, _, handle = heapq.heappop(self._timers)
+            if not handle.cancelled:
+                handle.action()
+        self._prune_timers()
+
+    def _push_timer(self, time: float,
+                    action: Callable[[], None]) -> "TimerHandle":
+        self._timer_seq += 1
+        handle = TimerHandle(action)
+        heapq.heappush(self._timers, (time, self._timer_seq, handle))
+        return handle
+
+    def _make_ready(self, process: Process, value: Any = None) -> None:
+        if process.finished:
+            return
+        process.set_resume(value)
+        process.state = ProcessState.READY
+        self._ready.append(process)
+
+    # ------------------------------------------------------------------
+    # Stepping and effect handling
+    # ------------------------------------------------------------------
+
+    def _step(self, process: Process) -> None:
+        self.total_steps += 1
+        if self.total_steps > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} steps; livelock suspected")
+        try:
+            effect = process.advance()
+        except StopIteration as stop:
+            process.state = ProcessState.DONE
+            process.result = stop.value
+            self._release_aliases(process)
+            self.tracer.emit(self.now, EventKind.PROC_DONE, process.name)
+            return
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            process.state = ProcessState.FAILED
+            process.error = exc
+            self._release_aliases(process)
+            self.tracer.emit(self.now, EventKind.PROC_FAIL, process.name,
+                             error=repr(exc))
+            failure = ProcessFailure(process.name, exc)
+            if self._first_failure is None:
+                self._first_failure = failure
+            return
+        try:
+            self._handle_effect(process, effect)
+        except (InvalidEffectError, TypeError, ValueError) as exc:
+            # A malformed yield is the yielding process's bug: record it as
+            # that process's failure rather than crashing the scheduler.
+            process.state = ProcessState.FAILED
+            process.error = exc
+            self._board.withdraw(process.name)
+            self._release_aliases(process)
+            self.tracer.emit(self.now, EventKind.PROC_FAIL, process.name,
+                             error=repr(exc))
+            if self._first_failure is None:
+                self._first_failure = ProcessFailure(process.name, exc)
+
+    def _handle_effect(self, process: Process, effect: Any) -> None:
+        if isinstance(effect, (Send, Receive)):
+            group = make_group(process, [effect], plain=True)
+            process.state = ProcessState.BLOCKED
+            process.blocked_reason = group.describe()
+            self._board.post(group)
+        elif isinstance(effect, Select):
+            group = make_group(process, effect.branches, plain=False)
+            if effect.immediate:
+                if not self._board.candidates_for(group, self.alias_owner):
+                    self._make_ready(process, board_mod.else_result())
+                    return
+            process.state = ProcessState.BLOCKED
+            process.blocked_reason = group.describe()
+            self._board.post(group)
+        elif isinstance(effect, Delay):
+            process.state = ProcessState.BLOCKED
+            process.blocked_reason = f"delay({effect.duration})"
+            self.tracer.emit(self.now, EventKind.DELAY, process.name,
+                             duration=effect.duration)
+            self._push_timer(self.now + effect.duration,
+                             lambda p=process: self._make_ready(p))
+        elif isinstance(effect, WaitUntil):
+            if effect.predicate():
+                self._make_ready(process)
+            else:
+                process.state = ProcessState.BLOCKED
+                process.blocked_reason = f"until {effect.description}"
+                self._waiters[process.name] = _Waiter(
+                    process, effect.predicate, effect.description)
+        elif isinstance(effect, GetTime):
+            self._make_ready(process, self.now)
+        elif isinstance(effect, GetName):
+            self._make_ready(process, process.name)
+        elif isinstance(effect, Choice):
+            self._make_ready(process, self.rng.choice(effect.options))
+        elif isinstance(effect, QueryProcesses):
+            statuses = {}
+            for name in effect.names:
+                peer = self.processes.get(name)
+                statuses[name] = peer is None or peer.finished
+            self._make_ready(process, statuses)
+        elif isinstance(effect, Trace):
+            self.tracer.emit(self.now, EventKind.USER, process.name,
+                             user_kind=effect.kind, **effect.details)
+            self._make_ready(process)
+        elif isinstance(effect, Spawn):
+            self.spawn(effect.name, effect.body)
+            self._make_ready(process, effect.name)
+        elif isinstance(effect, AddAlias):
+            self._claim_alias(effect.alias, process)
+            self._make_ready(process)
+        elif isinstance(effect, DropAlias):
+            self._release_alias(effect.alias, process)
+            self._make_ready(process)
+        elif isinstance(effect, Effect):
+            raise InvalidEffectError(f"unhandled effect type: {effect!r}")
+        else:
+            raise InvalidEffectError(
+                f"process {process.name!r} yielded a non-effect: {effect!r}")
+
+    # ------------------------------------------------------------------
+    # Settling: rendezvous matching and condition wake-ups
+    # ------------------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Commit matchable rendezvous and wake satisfied waiters to fixpoint."""
+        changed = True
+        while changed:
+            changed = False
+            while True:
+                candidates = self._board.candidates(self.alias_owner)
+                if not candidates:
+                    break
+                commit = self.rng.choice(candidates)
+                self._commit(commit)
+                changed = True
+            for name in list(self._waiters):
+                waiter = self._waiters.get(name)
+                if waiter is None:
+                    continue
+                if waiter.predicate():
+                    del self._waiters[name]
+                    self._make_ready(waiter.process)
+                    changed = True
+
+    def _commit(self, commit: board_mod.Commit) -> None:
+        self._board.remove_parties(commit)
+        sender_result, receiver_result = board_mod.resume_values(commit)
+        sender_identity = (commit.send.as_alias
+                           if commit.send.as_alias is not None
+                           else commit.sender.name)
+        self.tracer.emit(
+            self.now, EventKind.COMM, commit.sender.name,
+            receiver=commit.receiver.name, to=commit.send.partner_alias,
+            sender_alias=sender_identity, tag=commit.send.tag,
+            value=commit.send.value)
+        delay = self.transport(self, commit) if self.transport else 0.0
+        if delay > 0:
+            self._push_timer(
+                self.now + delay,
+                lambda p=commit.sender, v=sender_result: self._make_ready(p, v))
+            self._push_timer(
+                self.now + delay,
+                lambda p=commit.receiver, v=receiver_result: self._make_ready(p, v))
+            commit.sender.blocked_reason = "message in transit"
+            commit.receiver.blocked_reason = "message in transit"
+        else:
+            self._make_ready(commit.sender, sender_result)
+            self._make_ready(commit.receiver, receiver_result)
+
+
+def run_processes(bodies: Mapping[Hashable, ProcessBody] |
+                  Iterable[tuple[Hashable, ProcessBody]],
+                  seed: int = 0, max_steps: int = 1_000_000,
+                  transport: Transport | None = None,
+                  tracer: Tracer | None = None) -> RunResult:
+    """Convenience entry point: spawn ``bodies`` and run to completion.
+
+    ``bodies`` maps process names to *instantiated* generators.  Returns the
+    :class:`RunResult`; raises on deadlock or process failure.
+    """
+    scheduler = Scheduler(seed=seed, max_steps=max_steps,
+                          transport=transport, tracer=tracer)
+    items = bodies.items() if isinstance(bodies, Mapping) else bodies
+    for name, body in items:
+        scheduler.spawn(name, body)
+    return scheduler.run()

@@ -1,0 +1,113 @@
+"""Trace capture for the runtime kernel.
+
+Every observable action of the scheduler is recorded as a
+:class:`TraceEvent`.  Traces are the raw material of the verification layer
+(:mod:`repro.verification`): the paper's semantic guarantees (successive
+activations, Figure 2's ``u=x and y=v``, broadcast delivery, lock safety)
+are all checked as predicates over these event sequences.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Iterable, Iterator
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the scheduler and the script layer emit."""
+
+    SPAWN = "spawn"
+    PROC_DONE = "proc_done"
+    PROC_FAIL = "proc_fail"
+    COMM = "comm"                     # a rendezvous committed
+    DELAY = "delay"
+    # Script-layer events (emitted by repro.core):
+    ENROLL_REQUEST = "enroll_request"
+    ENROLL_ACCEPT = "enroll_accept"
+    PERFORMANCE_START = "performance_start"
+    ROLE_START = "role_start"
+    ROLE_END = "role_end"
+    PERFORMANCE_END = "performance_end"
+    # User-defined events (via the Trace effect):
+    USER = "user"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observable action.
+
+    ``seq`` is a global monotonically increasing sequence number (the total
+    order in which the single-threaded scheduler performed actions); ``time``
+    is the virtual clock at the moment of the action.
+    """
+
+    seq: int
+    time: float
+    kind: EventKind
+    process: Any
+    details: dict[str, Any]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into ``details``."""
+        return self.details.get(key, default)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        details = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+        return f"[{self.seq:>5} t={self.time:g}] {self.kind.value} {self.process!r} {details}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` objects in order.
+
+    A tracer may be shared between several scheduler runs; sequence numbers
+    keep increasing, so concatenated traces remain totally ordered.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._seq = 0
+
+    def emit(self, time: float, kind: EventKind, process: Any,
+             **details: Any) -> TraceEvent:
+        """Record and return a new event."""
+        event = TraceEvent(self._seq, time, kind, process, details)
+        self._seq += 1
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All events recorded so far, in order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
+        """Events whose kind is one of ``kinds``, in order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_process(self, process: Any) -> list[TraceEvent]:
+        """Events attributed to ``process``, in order."""
+        return [e for e in self._events if e.process == process]
+
+    def user_events(self, kind: str | None = None) -> list[TraceEvent]:
+        """User events (``Trace`` effect), optionally filtered by subkind."""
+        events = self.of_kind(EventKind.USER)
+        if kind is None:
+            return events
+        return [e for e in events if e.get("user_kind") == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events (sequence numbering continues)."""
+        self._events.clear()
+
+
+def format_trace(events: Iterable[TraceEvent]) -> str:
+    """Render a trace as a human-readable multi-line string."""
+    return "\n".join(str(e) for e in events)

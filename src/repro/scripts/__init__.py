@@ -1,0 +1,52 @@
+"""Library of scripts: the paper's worked examples, ready to instantiate.
+
+* :mod:`~repro.scripts.broadcast` — star (Fig. 3), CSP-nondeterministic
+  star (Fig. 6), pipeline (Fig. 4) and spanning-tree broadcast.
+* :mod:`~repro.scripts.lockmanager` — the replicated database lock manager
+  (Fig. 5) with one-read-all-write, majority, and (via
+  :class:`MultipleGranularityTable`) Korth multiple-granularity locking.
+* :mod:`~repro.scripts.buffering` — bounded/unbounded buffers and the
+  Figure 12 mailbox broadcast.
+* :mod:`~repro.scripts.barrier` — n-party barrier and all-to-all exchange.
+"""
+
+from .barrier import make_barrier, make_exchange
+from .broadcast import (STRATEGIES, make_broadcast, make_pipeline_broadcast,
+                        make_star_broadcast, make_star_nondet_broadcast,
+                        make_tree_broadcast, run_broadcast)
+from .buffering import (END_OF_STREAM, make_bounded_buffer,
+                        make_mailbox_broadcast, make_unbounded_buffer)
+from .commit import ABORT, COMMIT, make_two_phase_commit, run_transaction
+from .election import make_ring_election, run_election
+from .lockmanager import (MAJORITY, ONE_READ_ALL_WRITE, LockStrategy,
+                          ReplicatedLockService, make_lock_manager_script)
+from .locktables import LockTable, MultipleGranularityTable
+
+__all__ = [
+    "ABORT",
+    "COMMIT",
+    "END_OF_STREAM",
+    "LockStrategy",
+    "LockTable",
+    "MAJORITY",
+    "MultipleGranularityTable",
+    "ONE_READ_ALL_WRITE",
+    "ReplicatedLockService",
+    "STRATEGIES",
+    "make_barrier",
+    "make_bounded_buffer",
+    "make_broadcast",
+    "make_exchange",
+    "make_lock_manager_script",
+    "make_mailbox_broadcast",
+    "make_pipeline_broadcast",
+    "make_ring_election",
+    "make_star_broadcast",
+    "make_star_nondet_broadcast",
+    "make_tree_broadcast",
+    "make_two_phase_commit",
+    "make_unbounded_buffer",
+    "run_broadcast",
+    "run_election",
+    "run_transaction",
+]

@@ -1,0 +1,72 @@
+"""Barrier and multi-party rendezvous scripts.
+
+Delayed initiation "enforces global synchronization between large groups of
+processes (as a possible extension to CSP's synchronized communication
+between two processes)" — which makes an *n*-party barrier the smallest
+interesting script: *n* roles with empty bodies, delayed initiation and
+delayed termination.  Enrolling *is* waiting at the barrier.
+
+:func:`make_exchange` generalises the barrier to an all-to-all value
+exchange (each party contributes a value and receives everyone's), with the
+gather-and-scatter hidden in the body of party 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core import Initiation, Mode, Param, ScriptDef, Termination
+from ..errors import ScriptDefinitionError
+
+Body = Generator[Any, Any, Any]
+
+
+def make_barrier(n: int) -> ScriptDef:
+    """An ``n``-party barrier: a performance is one barrier episode.
+
+    Processes enroll as ``("party", i)`` (or bare ``"party"`` for any free
+    slot); everyone is released together.  Successive barrier episodes are
+    successive performances, so the successive-activations rule gives the
+    usual reusable-barrier property for free.
+    """
+    if n < 2:
+        raise ScriptDefinitionError(f"a barrier needs >= 2 parties, got {n}")
+    script = ScriptDef("barrier", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role_family("party", range(1, n + 1))
+    def party(ctx: Any) -> Body:
+        yield from ()
+
+    return script
+
+
+def make_exchange(n: int) -> ScriptDef:
+    """An all-to-all exchange: everyone contributes, everyone gets all.
+
+    Each party enrolls with ``value : IN`` and receives the full
+    index-to-value mapping in ``gathered : OUT``.  Party 1 performs the
+    gather and the scatter; the other parties just send and receive — the
+    asymmetry is hidden inside the script.
+    """
+    if n < 2:
+        raise ScriptDefinitionError(f"an exchange needs >= 2 parties, got {n}")
+    script = ScriptDef("exchange", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role_family("party", range(1, n + 1),
+                        params=[Param("value", Mode.IN),
+                                Param("gathered", Mode.OUT)])
+    def party(ctx: Any, value: Any, gathered: Any) -> Body:
+        if ctx.index == 1:
+            collected = {1: value}
+            for i in range(2, n + 1):
+                collected[i] = yield from ctx.receive(("party", i))
+            for i in range(2, n + 1):
+                yield from ctx.send(("party", i), dict(collected))
+            gathered.value = collected
+        else:
+            yield from ctx.send(("party", 1), value)
+            gathered.value = yield from ctx.receive(("party", 1))
+
+    return script

@@ -1,0 +1,196 @@
+"""Broadcast scripts: the paper's running example, in every strategy.
+
+Section II introduces software broadcast as the canonical script: one
+*transmitter* role with a value parameter ``x`` and a family of *recipient*
+roles, each with a result parameter.  "The body of the script could hide the
+various broadcast strategies":
+
+* ``star`` — Figure 3's synchronized star: the sender transmits to each
+  recipient in a pre-specified order (delayed initiation and termination:
+  fully synchronized, the sender never blocks because all recipients are
+  enrolled and idle).
+* ``star_nondet`` — Figure 6's CSP variant: the sender transmits in
+  nondeterministic order (a guarded repetitive command over the unsent
+  recipients).
+* ``pipeline`` — Figure 4: the sender hands the value to recipient 1 and is
+  finished; recipient *i* waits for recipient *i+1* to arrive and passes the
+  value along.  Immediate initiation and termination: processes "spend much
+  less time in the script", at the cost of blocking on unfilled neighbours.
+* ``tree`` — the spanning-tree wave the paper sketches: "every role, upon
+  receiving x from its parent role, transmits it to every one of its
+  descendant roles".  Recipients form a binary heap; recipient *i*'s parent
+  is recipient *i // 2* (the sender for *i = 1*).
+
+All factories produce a script with one ``sender`` role (``data : IN``) and
+a ``recipient`` family of size *n* (``data : OUT``), so strategies are
+interchangeable behind the same interface — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core import (Initiation, Mode, Param, ScriptDef, SendTo, Termination)
+from ..errors import ScriptDefinitionError
+from ..runtime import Scheduler
+
+Body = Generator[Any, Any, Any]
+
+#: Strategy names accepted by :func:`make_broadcast`.
+STRATEGIES = ("star", "star_nondet", "pipeline", "tree")
+
+
+def make_star_broadcast(n: int = 5) -> ScriptDef:
+    """Figure 3: synchronized star broadcast to ``n`` recipients."""
+    script = ScriptDef("star_broadcast", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx: Any, data: Any) -> Body:
+        for i in range(1, n + 1):
+            yield from ctx.send(("recipient", i), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx: Any, data: Any) -> Body:
+        data.value = yield from ctx.receive("sender")
+
+    return script
+
+
+def make_star_nondet_broadcast(n: int = 5) -> ScriptDef:
+    """Figure 6: star broadcast with nondeterministic send order (CSP)."""
+    script = ScriptDef("csp_broadcast", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("transmitter", params=[Param("x", Mode.IN)])
+    def transmitter(ctx: Any, x: Any) -> Body:
+        sent = [False] * (n + 1)
+        while not all(sent[1:]):
+            result = yield from ctx.select([
+                SendTo(("recipient", k), x)
+                for k in range(1, n + 1) if not sent[k]])
+            pending = [k for k in range(1, n + 1) if not sent[k]]
+            sent[pending[result.index]] = True
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("y", Mode.OUT)])
+    def recipient(ctx: Any, y: Any) -> Body:
+        y.value = yield from ctx.receive("transmitter")
+
+    return script
+
+
+def make_pipeline_broadcast(n: int = 5) -> ScriptDef:
+    """Figure 4: pipeline broadcast (immediate initiation and termination)."""
+    script = ScriptDef("pipeline_broadcast",
+                       initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx: Any, data: Any) -> Body:
+        yield from ctx.send(("recipient", 1), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx: Any, data: Any) -> Body:
+        source = "sender" if ctx.index == 1 else ("recipient", ctx.index - 1)
+        data.value = yield from ctx.receive(source)
+        if ctx.index < n:
+            yield from ctx.send(("recipient", ctx.index + 1), data.value)
+
+    return script
+
+
+def make_tree_broadcast(n: int = 5) -> ScriptDef:
+    """Spanning-tree broadcast: a wave over a binary heap of recipients."""
+    script = ScriptDef("tree_broadcast", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx: Any, data: Any) -> Body:
+        if n >= 1:
+            yield from ctx.send(("recipient", 1), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx: Any, data: Any) -> Body:
+        i = ctx.index
+        parent = "sender" if i == 1 else ("recipient", i // 2)
+        data.value = yield from ctx.receive(parent)
+        for child in (2 * i, 2 * i + 1):
+            if child <= n:
+                yield from ctx.send(("recipient", child), data.value)
+
+    return script
+
+
+_FACTORIES = {
+    "star": make_star_broadcast,
+    "star_nondet": make_star_nondet_broadcast,
+    "pipeline": make_pipeline_broadcast,
+    "tree": make_tree_broadcast,
+}
+
+
+def make_broadcast(n: int = 5, strategy: str = "star") -> ScriptDef:
+    """Build an ``n``-recipient broadcast script with the given strategy.
+
+    The external behaviour is identical for every strategy — the value
+    reaches every recipient's ``data``/``y`` parameter — which is exactly
+    the hiding the script abstraction provides.
+    """
+    if n < 1:
+        raise ScriptDefinitionError(f"broadcast needs >= 1 recipient, got {n}")
+    try:
+        factory = _FACTORIES[strategy]
+    except KeyError:
+        raise ScriptDefinitionError(
+            f"unknown broadcast strategy {strategy!r}; "
+            f"choose from {STRATEGIES}") from None
+    return factory(n)
+
+
+def sender_role_name(script: ScriptDef) -> str:
+    """The sending role's name (Figure 6 calls it ``transmitter``)."""
+    return "transmitter" if "transmitter" in script.declarations else "sender"
+
+
+def data_param_name(script: ScriptDef, role: str) -> str:
+    """The data parameter's name for ``role`` in ``script``."""
+    declaration = script.declaration_for(role)
+    return declaration.params[0].name
+
+
+def run_broadcast(n: int = 5, strategy: str = "star", value: Any = "x",
+                  seed: int = 0, scheduler: Scheduler | None = None,
+                  recipient_delays: dict[int, float] | None = None) -> dict[int, Any]:
+    """Run one performance of a broadcast; return {index: received value}.
+
+    ``recipient_delays`` optionally staggers recipient enrollment in virtual
+    time (interesting for the immediate-initiation strategies).  The
+    scheduler may be supplied to observe traces or inject a transport.
+    """
+    from ..runtime import Delay
+
+    script = make_broadcast(n, strategy)
+    own_scheduler = scheduler if scheduler is not None else Scheduler(seed=seed)
+    instance = script.instance(own_scheduler)
+    sender_role = sender_role_name(script)
+    send_param = data_param_name(script, sender_role)
+    recv_param = data_param_name(script, ("recipient", 1))
+
+    def transmitter_process() -> Body:
+        yield from instance.enroll(sender_role, **{send_param: value})
+
+    def recipient_process(i: int) -> Body:
+        if recipient_delays and i in recipient_delays:
+            yield Delay(recipient_delays[i])
+        out = yield from instance.enroll(("recipient", i))
+        return out[recv_param]
+
+    own_scheduler.spawn("T", transmitter_process())
+    for i in range(1, n + 1):
+        own_scheduler.spawn(("R", i), recipient_process(i))
+    result = own_scheduler.run()
+    return {i: result.results[("R", i)] for i in range(1, n + 1)}

@@ -1,0 +1,175 @@
+"""Buffering-regime scripts.
+
+The introduction names "various buffering regimes" as the archetypal
+frequently-used communication pattern a script should capture once and for
+all.  This module provides:
+
+* :func:`make_bounded_buffer` — a producer/consumer script whose hidden
+  middle role implements a bounded FIFO buffer entirely inside the script
+  body (the buffering regime is invisible to the enrolling processes);
+* :func:`make_unbounded_buffer` — same interface, no back-pressure;
+* :func:`make_mailbox_broadcast` — Figure 12's mailbox broadcast: the
+  script packages one :class:`~repro.monitors.Mailbox` monitor per
+  recipient (the paper's "multiple monitor scheme, but with the script
+  providing the top-level packaging").
+
+All buffer scripts share the same interface: the producer enrolls with a
+list of ``items`` (ending the stream implicitly), the consumer's ``received``
+OUT parameter carries the delivered list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core import (Initiation, Mode, Param, ReceiveFrom, ScriptDef,
+                    SendTo, Termination)
+from ..errors import ScriptDefinitionError
+from ..monitors import Mailbox
+
+Body = Generator[Any, Any, Any]
+
+#: Stream terminator passed through the buffer.
+END_OF_STREAM = ("__end_of_stream__",)
+
+
+def make_bounded_buffer(capacity: int) -> ScriptDef:
+    """A producer/consumer script with a hidden bounded-FIFO middle role.
+
+    The buffer role overlaps intake and delivery with a selective wait:
+    while space remains it is willing to receive, while items remain it is
+    willing to send — the classic bounded-buffer guarded command, hidden
+    inside the script body.
+    """
+    if capacity < 1:
+        raise ScriptDefinitionError(f"capacity must be >= 1, got {capacity}")
+
+    script = ScriptDef("bounded_buffer", initiation=Initiation.DELAYED,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("producer", params=[Param("items", Mode.IN)])
+    def producer(ctx: Any, items: Any) -> Body:
+        for item in items:
+            yield from ctx.send("buffer", item)
+        yield from ctx.send("buffer", END_OF_STREAM)
+
+    @script.role("buffer")
+    def buffer(ctx: Any) -> Body:
+        queue: list[Any] = []
+        draining = False
+        while not (draining and not queue):
+            branches = []
+            can_receive = not draining and len(queue) < capacity
+            if can_receive:
+                branches.append(ReceiveFrom("producer"))
+            if queue:
+                branches.append(SendTo("consumer", queue[0]))
+            result = yield from ctx.select(branches)
+            took_receive = can_receive and result.index == 0
+            if took_receive:
+                if result.value == END_OF_STREAM:
+                    draining = True
+                else:
+                    queue.append(result.value)
+            else:
+                queue.pop(0)
+        yield from ctx.send("consumer", END_OF_STREAM)
+
+    @script.role("consumer", params=[Param("received", Mode.OUT)])
+    def consumer(ctx: Any, received: Any) -> Body:
+        collected: list[Any] = []
+        while True:
+            item = yield from ctx.receive("buffer")
+            if item == END_OF_STREAM:
+                break
+            collected.append(item)
+        received.value = collected
+
+    return script
+
+
+def make_unbounded_buffer() -> ScriptDef:
+    """Same interface as :func:`make_bounded_buffer`, but no back-pressure.
+
+    The buffer always accepts from the producer; a finite select preference
+    would starve the consumer, so intake and delivery alternate through the
+    same selective wait without a capacity guard.
+    """
+    script = ScriptDef("unbounded_buffer", initiation=Initiation.DELAYED,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("producer", params=[Param("items", Mode.IN)])
+    def producer(ctx: Any, items: Any) -> Body:
+        for item in items:
+            yield from ctx.send("buffer", item)
+        yield from ctx.send("buffer", END_OF_STREAM)
+
+    @script.role("buffer")
+    def buffer(ctx: Any) -> Body:
+        queue: list[Any] = []
+        draining = False
+        while not (draining and not queue):
+            branches = []
+            if not draining:
+                branches.append(ReceiveFrom("producer"))
+            if queue:
+                branches.append(SendTo("consumer", queue[0]))
+            result = yield from ctx.select(branches)
+            if not draining and result.index == 0:
+                if result.value == END_OF_STREAM:
+                    draining = True
+                else:
+                    queue.append(result.value)
+            else:
+                queue.pop(0)
+        yield from ctx.send("consumer", END_OF_STREAM)
+
+    @script.role("consumer", params=[Param("received", Mode.OUT)])
+    def consumer(ctx: Any, received: Any) -> Body:
+        collected: list[Any] = []
+        while True:
+            item = yield from ctx.receive("buffer")
+            if item == END_OF_STREAM:
+                break
+            collected.append(item)
+        received.value = collected
+
+    return script
+
+
+def make_mailbox_broadcast(n: int = 5) -> ScriptDef:
+    """Figure 12: broadcast through one mailbox monitor per recipient.
+
+    The sender deposits the value in each recipient's mailbox; recipients
+    withdraw independently.  The critical role set includes the sender and
+    all recipients, which "prevents the sender from waiting on a full
+    mailbox" — every box is drained by an enrolled recipient.
+
+    One fresh monitor per recipient is created *per performance* inside the
+    script body (the script is the top-level packaging; the monitors are
+    the per-recipient synchronisation).
+    """
+    if n < 1:
+        raise ScriptDefinitionError(f"need >= 1 recipient, got {n}")
+    script = ScriptDef("mailbox_broadcast", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    # One mailbox per recipient, recreated for each performance: keyed by
+    # performance id so consecutive performances never share a box.
+    boxes: dict[tuple[str, int], Mailbox] = {}
+
+    def box_for(performance_id: str, index: int) -> Mailbox:
+        return boxes.setdefault((performance_id, index),
+                                Mailbox(f"mbox[{index}]"))
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx: Any, data: Any) -> Body:
+        for index in range(1, n + 1):
+            yield from box_for(ctx.performance.id, index).put(data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx: Any, data: Any) -> Body:
+        data.value = yield from box_for(ctx.performance.id, ctx.index).get()
+
+    return script

@@ -1,0 +1,103 @@
+"""A two-phase commit script.
+
+The paper argues scripts should capture "frequently used patterns" once and
+for all; atomic commitment is the canonical multi-party pattern in the
+distributed-database setting of its own Figure 5.  One performance is one
+transaction:
+
+* the **coordinator** role (``proposal : IN``, ``decision : OUT``) sends a
+  prepare request to every participant, collects votes, decides ``commit``
+  iff every vote is ``yes``, and distributes the decision;
+* each **participant** (``vote : IN``, ``outcome : OUT``) answers the
+  prepare with its vote and learns the decision.
+
+Delayed initiation makes the transaction start only when the coordinator
+and all participants are present — there is no notion of a 2PC with absent
+voters — and delayed termination releases everyone with the decision
+recorded, so the performance *is* the atomic commitment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core import (Initiation, Mode, Param, ReceiveFrom, ScriptDef,
+                    Termination)
+from ..errors import ScriptDefinitionError
+
+Body = Generator[Any, Any, Any]
+
+COMMIT = "commit"
+ABORT = "abort"
+
+
+def make_two_phase_commit(n: int) -> ScriptDef:
+    """Build a 2PC script with ``n`` participants."""
+    if n < 1:
+        raise ScriptDefinitionError(f"2PC needs >= 1 participant, got {n}")
+
+    script = ScriptDef("two_phase_commit",
+                       initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("coordinator", params=[Param("proposal", Mode.IN),
+                                        Param("decision", Mode.OUT)])
+    def coordinator(ctx: Any, proposal: Any, decision: Any) -> Body:
+        # Phase 1: prepare + collect votes (in arrival order, via select).
+        for i in range(1, n + 1):
+            yield from ctx.send(("participant", i), ("prepare", proposal))
+        votes: dict[int, str] = {}
+        while len(votes) < n:
+            result = yield from ctx.select(
+                [ReceiveFrom(("participant", i))
+                 for i in range(1, n + 1) if i not in votes])
+            votes[result.sender[1]] = result.value
+        outcome = COMMIT if all(v == "yes" for v in votes.values()) \
+            else ABORT
+        # Phase 2: distribute the decision.
+        for i in range(1, n + 1):
+            yield from ctx.send(("participant", i), ("decision", outcome))
+        decision.value = outcome
+
+    @script.role_family("participant", range(1, n + 1),
+                        params=[Param("vote", Mode.IN),
+                                Param("outcome", Mode.OUT)])
+    def participant(ctx: Any, vote: str, outcome: Any) -> Body:
+        tag, _proposal = yield from ctx.receive("coordinator")
+        assert tag == "prepare"
+        yield from ctx.send("coordinator", vote)
+        tag, decided = yield from ctx.receive("coordinator")
+        assert tag == "decision"
+        outcome.value = decided
+
+    return script
+
+
+def run_transaction(votes: list[str], proposal: Any = "txn",
+                    seed: int = 0) -> tuple[str, list[str]]:
+    """Convenience: run one 2PC performance with the given votes.
+
+    Returns ``(decision, outcomes_per_participant)``.
+    """
+    from ..runtime import Scheduler
+
+    n = len(votes)
+    script = make_two_phase_commit(n)
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def coordinator_process():
+        out = yield from instance.enroll("coordinator", proposal=proposal)
+        return out["decision"]
+
+    def participant_process(i):
+        out = yield from instance.enroll(("participant", i),
+                                         vote=votes[i - 1])
+        return out["outcome"]
+
+    scheduler.spawn("C", coordinator_process())
+    for i in range(1, n + 1):
+        scheduler.spawn(("P", i), participant_process(i))
+    result = scheduler.run()
+    return (result.results["C"],
+            [result.results[("P", i)] for i in range(1, n + 1)])

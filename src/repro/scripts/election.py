@@ -1,0 +1,97 @@
+"""A ring leader-election script (Chang-Roberts).
+
+Another frequently-used pattern packaged as a script: *n* station roles on
+a logical ring elect the station with the largest id.  The ring structure —
+who passes to whom — is hidden in the script body; enrolling processes only
+supply their id and receive the winner.
+
+Protocol (Chang-Roberts): each station circulates its id clockwise; a
+station forwards ids larger than its own and swallows smaller ones; the
+station whose id survives a full lap is the leader and circulates an
+announcement.  Because communication is synchronous rendezvous, every
+station runs a select-based pump — willing at any moment either to deliver
+the head of its outbox to its successor or to accept from its predecessor —
+which avoids the all-sending ring deadlock, and FIFO outboxes over FIFO
+links guarantee the announcement is the last message on every link.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core import (Initiation, Mode, Param, ReceiveFrom, ScriptDef, SendTo,
+                    Termination)
+from ..errors import ScriptDefinitionError
+
+Body = Generator[Any, Any, Any]
+
+
+def make_ring_election(n: int) -> ScriptDef:
+    """Build a leader-election script over a ring of ``n`` stations."""
+    if n < 2:
+        raise ScriptDefinitionError(f"a ring needs >= 2 stations, got {n}")
+
+    script = ScriptDef("ring_election", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role_family("station", range(1, n + 1),
+                        params=[Param("my_id", Mode.IN),
+                                Param("leader", Mode.OUT)])
+    def station(ctx: Any, my_id: Any, leader: Any) -> Body:
+        successor = ("station", ctx.index % n + 1)
+        predecessor = ("station", (ctx.index - 2) % n + 1)
+        outbox: list[tuple[str, Any]] = [("candidate", my_id)]
+        receiving = True
+        while receiving or outbox:
+            branches: list[Any] = []
+            if outbox:
+                branches.append(SendTo(successor, outbox[0]))
+            if receiving:
+                branches.append(ReceiveFrom(predecessor))
+            result = yield from ctx.select(branches)
+            if outbox and result.index == 0:
+                outbox.pop(0)
+                continue
+            kind, value = result.value
+            if kind == "candidate":
+                if value == my_id:
+                    # My id survived the full lap: I am the leader.
+                    leader.value = my_id
+                    outbox.append(("elected", my_id))
+                elif value > my_id:
+                    outbox.append(("candidate", value))
+                # Smaller ids are swallowed.
+            elif kind == "elected":
+                if value == my_id:
+                    # The announcement completed its lap.
+                    receiving = False
+                else:
+                    leader.value = value
+                    outbox.append(("elected", value))
+                    receiving = False
+            else:  # pragma: no cover - protocol is closed
+                raise AssertionError(f"unexpected message {kind!r}")
+
+    return script
+
+
+def run_election(ids: list[Any], seed: int = 0) -> dict[int, Any]:
+    """Run one election; ``ids[i-1]`` is station i's id.
+
+    Returns {station index: leader seen}.
+    """
+    from ..runtime import Scheduler
+
+    n = len(ids)
+    script = make_ring_election(n)
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def station_process(i):
+        out = yield from instance.enroll(("station", i), my_id=ids[i - 1])
+        return out["leader"]
+
+    for i in range(1, n + 1):
+        scheduler.spawn(("S", i), station_process(i))
+    result = scheduler.run()
+    return {i: result.results[("S", i)] for i in range(1, n + 1)}

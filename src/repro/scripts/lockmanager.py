@@ -1,0 +1,232 @@
+"""The replicated, distributed database lock-manager script (Figure 5).
+
+The script has *k* lock-manager roles, one reader role and one writer role.
+Each manager owns a lock table that persists across performances; readers
+and writers request or release locks on data items.  Critical role sets make
+the reader and writer optional: a performance needs all *k* managers plus
+the reader and/or the writer (Section II, "Critical Role Set").
+
+"Depending on the locking scheme, readers and writers may need permission
+from more than one lock manager":
+
+* :data:`ONE_READ_ALL_WRITE` — the paper's example: one lock to read, *k*
+  locks to write;
+* :data:`MAJORITY` — lock a majority of nodes to read or write;
+* multiple-granularity locking (Korth [7]) is orthogonal: pass
+  ``table_factory=MultipleGranularityTable`` and use granule *paths* as data
+  items.
+
+Protocol notes (vs. the figure): the figure's manager loop guards each arm
+with ``r.terminated``; because our selective wait blocks, clients instead
+send an explicit ``done`` message to every live manager as their last
+action, which carries the same information without a central administrator.
+The reader stops requesting as soon as its quorum is reached (the figure's
+``who = [] AND ~done[i]`` guard) and, like the figure's writer, releases the
+partial quorum when denied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Hashable
+
+from ..core import (ALL_ABSENT, Initiation, Mode, Param, ReceiveFrom,
+                    ScriptDef, Termination)
+from ..errors import ScriptDefinitionError
+from ..runtime import Scheduler
+from .locktables import LockTable, MultipleGranularityTable
+
+Body = Generator[Any, Any, Any]
+
+__all__ = [
+    "LockStrategy",
+    "MAJORITY",
+    "ONE_READ_ALL_WRITE",
+    "ReplicatedLockService",
+    "make_lock_manager_script",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LockStrategy:
+    """How many manager grants a read/write needs, as functions of *k*."""
+
+    name: str
+    read_quorum: Callable[[int], int]
+    write_quorum: Callable[[int], int]
+
+
+#: The paper's scheme: lock one node to read, all nodes to write.
+ONE_READ_ALL_WRITE = LockStrategy(
+    "one-read-all-write", read_quorum=lambda k: 1, write_quorum=lambda k: k)
+
+#: Lock a majority of nodes to read or write.
+MAJORITY = LockStrategy(
+    "majority",
+    read_quorum=lambda k: k // 2 + 1,
+    write_quorum=lambda k: k // 2 + 1)
+
+
+def _client_body(mode: str) -> Callable[..., Body]:
+    """Role body shared by the reader (mode='read') and writer ('write')."""
+
+    def body(ctx: Any, id: Hashable, data: Any, request: str, quorum: int,
+             status: Any) -> Body:
+        indices = ctx.family_indices("manager")
+        if request == "release":
+            for i in indices:
+                yield from ctx.send(("manager", i), ("release", data, id))
+            status.value = "released"
+        elif request == "lock":
+            who: list[int] = []
+            for position, i in enumerate(indices):
+                if len(who) >= quorum:
+                    break
+                remaining = len(indices) - position
+                if len(who) + remaining < quorum:
+                    break  # quorum unreachable; stop asking
+                yield from ctx.send(("manager", i), ("lock", data, id, mode))
+                reply = yield from ctx.receive(("manager", i))
+                if reply == "granted":
+                    who.append(i)
+            if len(who) >= quorum:
+                status.value = "granted"
+            else:
+                status.value = "denied"
+                for i in who:
+                    yield from ctx.send(("manager", i), ("release", data, id))
+        else:
+            raise ScriptDefinitionError(
+                f"request must be 'lock' or 'release', got {request!r}")
+        for i in indices:
+            yield from ctx.send(("manager", i), ("done",))
+
+    return body
+
+
+def _manager_body(ctx: Any, table: Any) -> Body:
+    """Serve lock/release requests until every live client has said done."""
+    done: set[Any] = set()
+
+    def live() -> list[str]:
+        return [client for client in ("reader", "writer")
+                if not ctx.terminated(client) and client not in done]
+
+    while live():
+        result = yield from ctx.select([ReceiveFrom(c) for c in live()])
+        if result.index == ALL_ABSENT:
+            break
+        message = result.value
+        client = result.sender
+        op = message[0]
+        if op == "done":
+            done.add(client)
+        elif op == "lock":
+            _, data, owner, mode = message
+            granted = table.try_acquire(data, owner, mode)
+            yield from ctx.send(client, "granted" if granted else "denied")
+        elif op == "release":
+            _, data, owner = message
+            table.release(data, owner)
+        else:
+            raise ScriptDefinitionError(f"unknown manager request {op!r}")
+
+
+def make_lock_manager_script(k: int = 3) -> ScriptDef:
+    """Build the Figure 5 script with ``k`` lock managers.
+
+    Delayed initiation (the client and all managers synchronise), immediate
+    termination (each participant leaves as its role completes).
+    """
+    if k < 1:
+        raise ScriptDefinitionError(f"need at least one manager, got {k}")
+    script = ScriptDef("lock", initiation=Initiation.DELAYED,
+                       termination=Termination.IMMEDIATE)
+    script.add_role_family("manager", _manager_body, indices=range(1, k + 1),
+                           params=[Param("table", Mode.IN)])
+    client_params = [Param("id", Mode.IN), Param("data", Mode.IN),
+                     Param("request", Mode.IN), Param("quorum", Mode.IN),
+                     Param("status", Mode.OUT)]
+    script.add_role("reader", _client_body("read"), params=client_params)
+    script.add_role("writer", _client_body("write"), params=client_params)
+    script.critical_role_set("manager", "reader")
+    script.critical_role_set("manager", "writer")
+    return script
+
+
+class ReplicatedLockService:
+    """Convenience harness: persistent tables plus performance-per-operation.
+
+    Owns the *k* lock tables (preserved between performances, as the paper
+    requires), spawns the manager processes, and offers client-side
+    generator helpers.  Manager processes keep re-enrolling while
+    operations remain outstanding and withdraw cleanly afterwards.
+    """
+
+    def __init__(self, scheduler: Scheduler, k: int = 3,
+                 strategy: LockStrategy = ONE_READ_ALL_WRITE,
+                 table_factory: Callable[[], Any] = LockTable,
+                 instance_name: str | None = None):
+        self.scheduler = scheduler
+        self.k = k
+        self.strategy = strategy
+        self.tables = [table_factory() for _ in range(k)]
+        self.script = make_lock_manager_script(k)
+        self.instance = self.script.instance(scheduler, name=instance_name)
+        self.remaining_ops = 0
+
+    # -- manager side --------------------------------------------------------
+
+    def _manager_process(self, index: int) -> Body:
+        performances = 0
+        while self.remaining_ops > 0:
+            out = yield from self.instance.enroll(
+                ("manager", index), table=self.tables[index - 1],
+                withdraw_when=lambda: self.remaining_ops <= 0)
+            if out is None:
+                break
+            performances += 1
+        return performances
+
+    def spawn_managers(self) -> None:
+        """Spawn one process per manager (call after setting expected ops)."""
+        for index in range(1, self.k + 1):
+            self.scheduler.spawn(("manager-proc", index),
+                                 self._manager_process(index))
+
+    def expect_operations(self, count: int) -> None:
+        """Declare how many client operations will be issued in total."""
+        self.remaining_ops += count
+
+    # -- client side -----------------------------------------------------------
+
+    def request(self, role: str, owner: Hashable, data: Any,
+                op: str) -> Body:
+        """Perform one lock/release as ``role`` ('reader' or 'writer').
+
+        Yields from one enrollment (one performance) and returns the status:
+        ``granted`` / ``denied`` / ``released``.  Decrements the outstanding
+        operation counter.
+        """
+        quorum = (self.strategy.read_quorum(self.k) if role == "reader"
+                  else self.strategy.write_quorum(self.k))
+        out = yield from self.instance.enroll(
+            role, id=owner, data=data, request=op, quorum=quorum)
+        self.remaining_ops -= 1
+        return out["status"]
+
+    def read_lock(self, owner: Hashable, data: Any) -> Body:
+        """Shorthand for a reader lock request."""
+        return (yield from self.request("reader", owner, data, "lock"))
+
+    def write_lock(self, owner: Hashable, data: Any) -> Body:
+        """Shorthand for a writer lock request."""
+        return (yield from self.request("writer", owner, data, "lock"))
+
+    def read_release(self, owner: Hashable, data: Any) -> Body:
+        """Shorthand for a reader release."""
+        return (yield from self.request("reader", owner, data, "release"))
+
+    def write_release(self, owner: Hashable, data: Any) -> Body:
+        """Shorthand for a writer release."""
+        return (yield from self.request("writer", owner, data, "release"))

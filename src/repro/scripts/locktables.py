@@ -1,0 +1,212 @@
+"""Lock tables for the database lock-manager script (Figure 5).
+
+The paper assumes "the lock tables are abstract data types with the
+appropriate functions to lock and release entries in the table and to check
+whether read or write locks on a piece of data may be added".  Two
+implementations are provided:
+
+* :class:`LockTable` — flat read/write locks per item (what Figure 5 needs);
+* :class:`MultipleGranularityTable` — hierarchical locking "as described by
+  Korth [7]": items are paths in a granule tree; reads take ``IS`` intention
+  locks on ancestors and ``S`` on the target, writes take ``IX`` and ``X``,
+  with the standard compatibility matrix (including ``SIX``).
+
+Tables persist *between* performances of the script — "we assume that the
+lock tables are preserved by such a change" — so they are plain Python
+objects owned by the manager processes, passed into each performance as an
+``IN`` parameter (a reference to the same table).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+Owner = Hashable
+Item = Hashable
+
+#: Granularity lock modes and their compatibility (Korth / Gray et al.).
+_COMPAT: dict[str, frozenset[str]] = {
+    "IS": frozenset({"IS", "IX", "S", "SIX"}),
+    "IX": frozenset({"IS", "IX"}),
+    "S": frozenset({"IS", "S"}),
+    "SIX": frozenset({"IS"}),
+    "X": frozenset(),
+}
+
+
+class LockTable:
+    """Flat per-item read/write locks.
+
+    Multiple owners may hold a read lock on one item; a write lock is
+    exclusive.  Re-acquisition by the same owner is idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._readers: dict[Item, set[Owner]] = defaultdict(set)
+        self._writer: dict[Item, Owner] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def can_read(self, item: Item, owner: Owner) -> bool:
+        """May ``owner`` add a read lock on ``item``?"""
+        holder = self._writer.get(item)
+        return holder is None or holder == owner
+
+    def can_write(self, item: Item, owner: Owner) -> bool:
+        """May ``owner`` add a write lock on ``item``?"""
+        holder = self._writer.get(item)
+        if holder is not None and holder != owner:
+            return False
+        others = self._readers.get(item, set()) - {owner}
+        return not others
+
+    def readers(self, item: Item) -> frozenset[Owner]:
+        """Owners currently holding a read lock on ``item``."""
+        return frozenset(self._readers.get(item, set()))
+
+    def writer(self, item: Item) -> Owner | None:
+        """The owner holding the write lock on ``item``, if any."""
+        return self._writer.get(item)
+
+    # -- mutation -----------------------------------------------------------
+
+    def try_acquire(self, item: Item, owner: Owner, mode: str) -> bool:
+        """Attempt to add a lock; returns whether it was granted."""
+        if mode == "read":
+            if not self.can_read(item, owner):
+                return False
+            self._readers[item].add(owner)
+            return True
+        if mode == "write":
+            if not self.can_write(item, owner):
+                return False
+            self._writer[item] = owner
+            return True
+        raise ValueError(f"unknown lock mode {mode!r}")
+
+    def release(self, item: Item, owner: Owner) -> None:
+        """Drop every lock ``owner`` holds on ``item`` (idempotent)."""
+        readers = self._readers.get(item)
+        if readers is not None:
+            readers.discard(owner)
+            if not readers:
+                del self._readers[item]
+        if self._writer.get(item) == owner:
+            del self._writer[item]
+
+    def held_items(self, owner: Owner) -> set[Item]:
+        """All items on which ``owner`` holds some lock."""
+        items = {item for item, owners in self._readers.items()
+                 if owner in owners}
+        items.update(item for item, holder in self._writer.items()
+                     if holder == owner)
+        return items
+
+
+def _ancestors(path: tuple[Hashable, ...]) -> Iterable[tuple[Hashable, ...]]:
+    """Proper ancestors of a granule path, root first."""
+    for depth in range(1, len(path)):
+        yield path[:depth]
+
+
+class MultipleGranularityTable:
+    """Hierarchical (multiple-granularity) locking.
+
+    Items are tuples naming a path in the granule tree, e.g.
+    ``("db", "area1", "file3", "record7")``.  A read on a path takes ``IS``
+    on every proper ancestor and ``S`` on the path itself; a write takes
+    ``IX`` and ``X``.  A request is granted only if every needed lock is
+    compatible with every lock held by *other* owners on the same node; the
+    acquisition is all-or-nothing.
+    """
+
+    def __init__(self) -> None:
+        # node -> owner -> multiset of modes (mode -> count)
+        self._locks: dict[tuple[Hashable, ...],
+                          dict[Owner, dict[str, int]]] = defaultdict(dict)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _as_path(item: Item) -> tuple[Hashable, ...]:
+        if isinstance(item, tuple):
+            if not item:
+                raise ValueError("granule path must be nonempty")
+            return item
+        return (item,)
+
+    def _node_compatible(self, node: tuple[Hashable, ...], owner: Owner,
+                         mode: str) -> bool:
+        for other, modes in self._locks.get(node, {}).items():
+            if other == owner:
+                continue
+            for held, count in modes.items():
+                if count > 0 and held not in _COMPAT[mode]:
+                    return False
+        return True
+
+    def _needed(self, item: Item, mode: str
+                ) -> list[tuple[tuple[Hashable, ...], str]]:
+        path = self._as_path(item)
+        intention = "IS" if mode == "read" else "IX"
+        target = "S" if mode == "read" else "X"
+        needed = [(ancestor, intention) for ancestor in _ancestors(path)]
+        needed.append((path, target))
+        return needed
+
+    # -- queries --------------------------------------------------------------
+
+    def can_read(self, item: Item, owner: Owner) -> bool:
+        """Would a read chain on ``item`` be granted to ``owner`` now?"""
+        return all(self._node_compatible(node, owner, mode)
+                   for node, mode in self._needed(item, "read"))
+
+    def can_write(self, item: Item, owner: Owner) -> bool:
+        """Would a write chain on ``item`` be granted to ``owner`` now?"""
+        return all(self._node_compatible(node, owner, mode)
+                   for node, mode in self._needed(item, "write"))
+
+    def modes_held(self, item: Item, owner: Owner) -> dict[str, int]:
+        """The modes ``owner`` holds on the node named by ``item``."""
+        return dict(self._locks.get(self._as_path(item), {}).get(owner, {}))
+
+    # -- mutation ---------------------------------------------------------------
+
+    def try_acquire(self, item: Item, owner: Owner, mode: str) -> bool:
+        """Acquire the full lock chain for a read/write, all-or-nothing."""
+        if mode not in ("read", "write"):
+            raise ValueError(f"unknown lock mode {mode!r}")
+        needed = self._needed(item, mode)
+        if not all(self._node_compatible(node, owner, m)
+                   for node, m in needed):
+            return False
+        for node, m in needed:
+            modes = self._locks[node].setdefault(owner, {})
+            modes[m] = modes.get(m, 0) + 1
+        return True
+
+    def release(self, item: Item, owner: Owner) -> None:
+        """Release one read/write chain on ``item`` held by ``owner``.
+
+        Releases whichever chain (read before write) the owner holds on the
+        target node, decrementing ancestor intention locks accordingly.
+        """
+        path = self._as_path(item)
+        held = self._locks.get(path, {}).get(owner, {})
+        if held.get("S", 0) > 0:
+            chain_mode = "read"
+        elif held.get("X", 0) > 0:
+            chain_mode = "write"
+        else:
+            return
+        for node, m in self._needed(item, chain_mode):
+            modes = self._locks.get(node, {}).get(owner)
+            if modes and modes.get(m, 0) > 0:
+                modes[m] -= 1
+                if modes[m] == 0:
+                    del modes[m]
+                if not modes:
+                    del self._locks[node][owner]
+                    if not self._locks[node]:
+                        del self._locks[node]

@@ -1,0 +1,22 @@
+"""Section IV translations: scripts expressed in pure CSP and pure Ada.
+
+These are the paper's existence proofs that the script construct "should
+not add functional power to the host language".  They are intentionally
+centralised (supervisor process/task); the built-in engine coordinator in
+:mod:`repro.core` is the process-free implementation, and
+``benchmarks/test_translation_overhead.py`` quantifies the gap.
+"""
+
+from .ada_translation import (AdaTranslatedScript, RoleTaskIO,
+                              make_ada_broadcast)
+from .csp_translation import (CSPRoleIO, CSPTranslatedScript,
+                              make_csp_broadcast)
+
+__all__ = [
+    "AdaTranslatedScript",
+    "CSPRoleIO",
+    "CSPTranslatedScript",
+    "RoleTaskIO",
+    "make_ada_broadcast",
+    "make_csp_broadcast",
+]

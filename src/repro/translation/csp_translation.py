@@ -1,0 +1,175 @@
+"""Script-to-CSP translation: the Section IV existence proof, executable.
+
+The paper shows that scripts (restricted to CSP's naming rules) "do not
+transcend the direct expressive power of CSP" by giving translation rules:
+
+1. an enrollment ``ENROLL IN s AS r(params) WITH [...]`` becomes an output
+   command ``p_s!start_s()`` to a *supervisor process* ``p_s`` (Figure 7);
+2. the role body is expanded **in-line** in the enrolling process, with role
+   names replaced by the process names given in the enrollment's ``WITH``
+   binding and every communication tagged with the script instance name
+   (so translated traffic can never collide with other traffic);
+3. the body is followed by ``p_s!end_s()``.
+
+The supervisor's guarded loop accepts ``start`` for a role only while that
+role's slot is free, and re-opens all slots only after every role has
+ended — which is precisely the successive-activations rule.  As the paper
+notes, this centralised translation is an existence proof, not a proposed
+implementation; the overhead benchmark quantifies the difference against
+the engine's passive coordinator.
+
+Restrictions faithfully carried over: partners must be fully named (CSP
+naming), initiation and termination are immediate, and the supervisor is
+parameterised by a performance count because "the translation can convert a
+terminating program into a non-terminating one" — a bounded supervisor
+keeps test runs terminating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Hashable, Mapping, Sequence
+
+from ..errors import CSPError
+from ..runtime import Receive, Select, Send
+
+Body = Generator[Any, Any, Any]
+
+#: A translated role body: ``body(io, **params)``.
+TranslatedBody = Callable[..., Body]
+
+
+class CSPRoleIO:
+    """Role-to-role communication, resolved to process names (rule 2).
+
+    ``binding`` maps every role name the body mentions to the concrete
+    process enrolled in it — the ``WITH [qa AS recipient[1], ...]`` clause.
+    All communications are tagged with the script instance name (rule 2c).
+    """
+
+    def __init__(self, script_name: str, binding: Mapping[str, Hashable]):
+        self.script_name = script_name
+        self.binding = dict(binding)
+
+    def _partner(self, role: str) -> Hashable:
+        try:
+            return self.binding[role]
+        except KeyError:
+            raise CSPError(
+                f"role {role!r} not named in the enrollment binding "
+                f"(CSP requires full partner naming)") from None
+
+    def send(self, role: str, value: Any) -> Body:
+        """``role!value`` translated to ``P_role!s(value)``."""
+        yield Send(self._partner(role), value, tag=self.script_name)
+
+    def receive(self, role: str) -> Body:
+        """``role?x`` translated to ``P_role?s(x)``."""
+        value = yield Receive(self._partner(role), tag=self.script_name)
+        return value
+
+    def select(self, branches: Sequence[tuple[str, str, Any] | tuple[str, str]]
+               ) -> Body:
+        """Guarded choice over role communications.
+
+        Branches are ``("send", role, value)`` or ``("recv", role)``.
+        Returns ``(index, value)``.
+        """
+        effects: list[Send | Receive] = []
+        for branch in branches:
+            if branch[0] == "send":
+                _, role, value = branch
+                effects.append(Send(self._partner(role), value,
+                                    tag=self.script_name))
+            elif branch[0] == "recv":
+                effects.append(Receive(self._partner(branch[1]),
+                                       tag=self.script_name))
+            else:
+                raise CSPError(f"unknown branch kind {branch[0]!r}")
+        result = yield Select(tuple(effects))
+        return result.index, result.value
+
+
+class CSPTranslatedScript:
+    """A script compiled to CSP: in-line bodies plus the Figure 7 supervisor."""
+
+    def __init__(self, name: str, roles: Mapping[str, TranslatedBody]):
+        if not roles:
+            raise CSPError("a script needs at least one role")
+        self.name = name
+        self.roles = dict(roles)
+        self.supervisor_name = f"p_{name}"
+
+    # -- supervisor (Figure 7) ------------------------------------------------
+
+    def supervisor_body(self, performances: int) -> Body:
+        """The process ``p_s``: serialise performances of the whole role set.
+
+        For each performance, every role slot accepts one ``start``; a slot
+        re-opens only after *all* roles have sent ``end``.
+        """
+        for _ in range(performances):
+            ready = {role: True for role in self.roles}
+            done = {role: False for role in self.roles}
+            while not all(done.values()):
+                branches: list[Receive] = []
+                keys: list[tuple[str, str]] = []
+                for role in self.roles:
+                    if ready[role]:
+                        branches.append(
+                            Receive(tag=("start", self.name, role)))
+                        keys.append(("start", role))
+                    elif not done[role]:
+                        branches.append(
+                            Receive(tag=("end", self.name, role)))
+                        keys.append(("end", role))
+                result = yield Select(tuple(branches))
+                kind, role = keys[result.index]
+                if kind == "start":
+                    ready[role] = False
+                else:
+                    done[role] = True
+
+    # -- enrollment (translation rules 1-3) -----------------------------------
+
+    def enroll(self, role: str, binding: Mapping[str, Hashable],
+               **params: Any) -> Body:
+        """The translated ``ENROLL IN s AS role(params) WITH binding``.
+
+        To be run in-line (``yield from``) inside the enrolling process.
+        ``binding`` must name a process for every role this role's body
+        communicates with.  Returns whatever the body returns.
+        """
+        if role not in self.roles:
+            raise CSPError(f"script {self.name!r} has no role {role!r}")
+        yield Send(self.supervisor_name, None, tag=("start", self.name, role))
+        io = CSPRoleIO(self.name, binding)
+        result = yield from self.roles[role](io, **params)
+        yield Send(self.supervisor_name, None, tag=("end", self.name, role))
+        return result
+
+
+def make_csp_broadcast(n: int = 5) -> CSPTranslatedScript:
+    """Figure 6's broadcast as a translated-CSP script.
+
+    The transmitter is the figure's repetitive command: while any recipient
+    is unsent, nondeterministically pick one and output ``x`` to it.
+    """
+    recipient_roles = [f"recipient{i}" for i in range(1, n + 1)]
+
+    def transmitter(io: CSPRoleIO, x: Any) -> Body:
+        sent = {role: False for role in recipient_roles}
+        while not all(sent.values()):
+            pending = [role for role in recipient_roles if not sent[role]]
+            index, _ = yield from io.select(
+                [("send", role, x) for role in pending])
+            sent[pending[index]] = True
+        return None
+
+    def recipient(io: CSPRoleIO) -> Body:
+        value = yield from io.receive("transmitter")
+        return value
+
+    roles: dict[str, TranslatedBody] = {"transmitter": transmitter}
+    for role in recipient_roles:
+        roles[role] = recipient
+    return CSPTranslatedScript("broadcast", roles)

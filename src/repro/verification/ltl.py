@@ -1,0 +1,157 @@
+"""Linear temporal logic over finite traces.
+
+Section V of the paper announces the intent "to explore issues of
+specification and verification of concurrent programs using scripts".  This
+module provides the checking side: LTL formulas evaluated over the finite
+event traces the scheduler records, with the standard finite-trace
+conventions (``Always`` holds on an empty suffix; ``Next`` is *strong*: it
+fails at the end of the trace; ``WeakNext`` succeeds there).
+
+Atoms are arbitrary predicates over :class:`~repro.runtime.TraceEvent`, so
+properties range over anything the tracer captures::
+
+    starts = Atom(lambda e: e.kind is EventKind.PERFORMANCE_START)
+    ends   = Atom(lambda e: e.kind is EventKind.PERFORMANCE_END)
+    # every performance start is eventually followed by its end
+    prop = Always(Implies(starts, Eventually(ends)))
+    assert evaluate(prop, tracer.events)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from ..runtime.tracing import TraceEvent
+
+
+class Formula:
+    """Base class of LTL formulas."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """A predicate over the current event."""
+
+    predicate: Callable[[TraceEvent], bool]
+    name: str = "atom"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class And(Formula):
+    """Logical conjunction."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """Logical disjunction."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Implies(Formula):
+    """Material implication."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Next(Formula):
+    """Strong next: there must *be* a next event, and it must satisfy."""
+
+    operand: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WeakNext(Formula):
+    """Weak next: satisfied at the end of the trace."""
+
+    operand: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Always(Formula):
+    """``[] p``: p holds on every suffix position."""
+
+    operand: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Eventually(Formula):
+    """``<> p``: p holds at some suffix position."""
+
+    operand: Formula
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Until(Formula):
+    """``left Until right``: right eventually holds, left holds before."""
+
+    left: Formula
+    right: Formula
+
+
+def evaluate(formula: Formula, events: Sequence[TraceEvent],
+             position: int = 0) -> bool:
+    """Does ``formula`` hold on the trace suffix starting at ``position``?
+
+    Uses memoised recursion; suitable for the trace sizes the simulator
+    produces (thousands of events).
+    """
+    memo: dict[tuple[int, int], bool] = {}
+
+    def check(node: Formula, at: int) -> bool:
+        key = (id(node), at)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = _check(node, at)
+        memo[key] = result
+        return result
+
+    def _check(node: Formula, at: int) -> bool:
+        if isinstance(node, Atom):
+            return at < len(events) and bool(node.predicate(events[at]))
+        if isinstance(node, Not):
+            return not check(node.operand, at)
+        if isinstance(node, And):
+            return check(node.left, at) and check(node.right, at)
+        if isinstance(node, Or):
+            return check(node.left, at) or check(node.right, at)
+        if isinstance(node, Implies):
+            return (not check(node.left, at)) or check(node.right, at)
+        if isinstance(node, Next):
+            return at + 1 < len(events) and check(node.operand, at + 1)
+        if isinstance(node, WeakNext):
+            return at + 1 >= len(events) or check(node.operand, at + 1)
+        if isinstance(node, Always):
+            return all(check(node.operand, i)
+                       for i in range(at, len(events)))
+        if isinstance(node, Eventually):
+            return any(check(node.operand, i)
+                       for i in range(at, len(events)))
+        if isinstance(node, Until):
+            for i in range(at, len(events)):
+                if check(node.right, i):
+                    return True
+                if not check(node.left, i):
+                    return False
+            return False
+        raise TypeError(f"unknown formula {node!r}")
+
+    return check(formula, position)

@@ -1,0 +1,102 @@
+"""Trace metrics: quantitative summaries of script executions.
+
+Built on the same trace events as the invariant checkers, these helpers
+compute the numbers the benchmarks report: per-process time spent inside a
+script (the Figure 4 metric), per-performance spans, and communication
+counts per performance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable, TYPE_CHECKING
+
+from ..core.performance import RoleAddress
+from ..core.policies import Termination
+from ..runtime.tracing import EventKind, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.instance import ScriptInstance
+
+
+def time_in_script(tracer: Tracer, instance: "ScriptInstance"
+                   ) -> dict[Hashable, float]:
+    """Virtual time each process spent in the script, request to freeing.
+
+    A process enters the script when it *requests* enrollment and leaves
+    when it is freed: at its role's end under immediate termination, at the
+    performance's end under delayed termination.  Withdrawn requests
+    contribute nothing.
+    """
+    delayed = instance.script.termination is Termination.DELAYED
+    spans: dict[Hashable, float] = {}
+    open_request: dict[Hashable, float] = {}
+    pending_delayed: dict[str, list[tuple[Hashable, float]]] = {}
+    for event in tracer.events:
+        if event.get("instance") != instance.name:
+            continue
+        if event.kind is EventKind.ENROLL_REQUEST:
+            if event.get("withdrawn"):
+                open_request.pop(event.process, None)
+            else:
+                open_request[event.process] = event.time
+        elif event.kind is EventKind.ROLE_END:
+            started = open_request.pop(event.process, None)
+            if started is None:
+                continue
+            if delayed:
+                pending_delayed.setdefault(
+                    event.get("performance"), []).append(
+                        (event.process, started))
+            else:
+                spans[event.process] = spans.get(event.process, 0.0) + \
+                    (event.time - started)
+        elif event.kind is EventKind.PERFORMANCE_END and delayed:
+            for process, started in pending_delayed.pop(
+                    event.get("performance"), []):
+                spans[process] = spans.get(process, 0.0) + \
+                    (event.time - started)
+    return spans
+
+
+def performance_spans(tracer: Tracer, instance_name: str
+                      ) -> dict[str, tuple[float, float]]:
+    """{performance id: (start time, end time)} for completed performances."""
+    starts: dict[str, float] = {}
+    spans: dict[str, tuple[float, float]] = {}
+    for event in tracer.events:
+        if event.get("instance") != instance_name:
+            continue
+        performance = event.get("performance")
+        if event.kind is EventKind.PERFORMANCE_START:
+            starts[performance] = event.time
+        elif event.kind is EventKind.PERFORMANCE_END:
+            if performance in starts:
+                spans[performance] = (starts[performance], event.time)
+    return spans
+
+
+def comm_counts_by_performance(tracer: Tracer) -> dict[str, int]:
+    """Role-addressed rendezvous per performance id."""
+    counts: dict[str, int] = defaultdict(int)
+    for event in tracer.of_kind(EventKind.COMM):
+        to = event.get("to")
+        if isinstance(to, RoleAddress):
+            counts[to.performance_id] += 1
+    return dict(counts)
+
+
+def role_durations(tracer: Tracer, instance_name: str
+                   ) -> dict[tuple[str, Any], float]:
+    """{(performance id, role id): body duration in virtual time}."""
+    starts: dict[tuple[str, Any], float] = {}
+    durations: dict[tuple[str, Any], float] = {}
+    for event in tracer.events:
+        if event.get("instance") != instance_name:
+            continue
+        key = (event.get("performance"), event.get("role"))
+        if event.kind is EventKind.ROLE_START:
+            starts[key] = event.time
+        elif event.kind is EventKind.ROLE_END and key in starts:
+            durations[key] = event.time - starts[key]
+    return durations

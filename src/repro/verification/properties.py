@@ -1,0 +1,206 @@
+"""Trace invariants: the paper's stated guarantees, checked mechanically.
+
+Each checker inspects a recorded trace and raises
+:class:`~repro.errors.VerificationError` with a diagnostic on violation.
+The properties are exactly those the paper asserts in Section II:
+
+* **successive activations** (Figure 1): all roles of performance *k*
+  terminate before performance *k+1* starts;
+* **performance well-formedness**: a role starts after the performance
+  starts and after its enrollment is accepted, ends exactly once, and the
+  performance ends only after every filled role ended;
+* **broadcast delivery**: within one performance, every recipient role
+  receives the transmitted value (Figures 3, 4, 6, 8, 12);
+* **communication scoping**: role-addressed rendezvous never cross
+  performance boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from ..core.performance import RoleAddress
+from ..errors import VerificationError
+from ..runtime.tracing import EventKind, TraceEvent, Tracer
+
+Events = Iterable[TraceEvent]
+
+
+def _script_events(events: Events, instance: str | None) -> list[TraceEvent]:
+    wanted = {EventKind.ENROLL_REQUEST, EventKind.ENROLL_ACCEPT,
+              EventKind.PERFORMANCE_START, EventKind.ROLE_START,
+              EventKind.ROLE_END, EventKind.PERFORMANCE_END}
+    selected = [e for e in events if e.kind in wanted]
+    if instance is not None:
+        selected = [e for e in selected if e.get("instance") == instance]
+    return selected
+
+
+def performances_in(events: Events, instance: str | None = None
+                    ) -> list[str]:
+    """Performance ids appearing in the trace, in start order."""
+    return [e.get("performance")
+            for e in _script_events(events, instance)
+            if e.kind is EventKind.PERFORMANCE_START]
+
+
+def check_successive_activations(tracer: Tracer,
+                                 instance: str | None = None) -> int:
+    """All roles of performance *k* end before performance *k+1* starts.
+
+    Returns the number of performances checked.
+    """
+    events = _script_events(tracer.events, instance)
+    open_roles: dict[str, set[Any]] = defaultdict(set)
+    current: str | None = None
+    checked = 0
+    for event in events:
+        performance = event.get("performance")
+        if event.kind is EventKind.PERFORMANCE_START:
+            if current is not None and open_roles[current]:
+                raise VerificationError(
+                    "successive-activations",
+                    f"performance {performance} started while roles "
+                    f"{sorted(map(repr, open_roles[current]))} of "
+                    f"{current} were still active")
+            current = performance
+            checked += 1
+        elif event.kind is EventKind.ROLE_START:
+            open_roles[performance].add(event.get("role"))
+        elif event.kind is EventKind.ROLE_END:
+            open_roles[performance].discard(event.get("role"))
+    return checked
+
+
+def check_performances_well_formed(tracer: Tracer,
+                                   instance: str | None = None) -> int:
+    """Role lifecycles nest correctly within their performance."""
+    events = _script_events(tracer.events, instance)
+    started: set[str] = set()
+    ended: set[str] = set()
+    accepted: dict[tuple[str, Any], int] = {}
+    role_started: set[tuple[str, Any]] = set()
+    role_ended: set[tuple[str, Any]] = set()
+
+    for event in events:
+        performance = event.get("performance")
+        key = (performance, event.get("role"))
+        if event.kind is EventKind.PERFORMANCE_START:
+            if performance in started:
+                raise VerificationError(
+                    "well-formed", f"{performance} started twice")
+            started.add(performance)
+        elif event.kind is EventKind.ENROLL_ACCEPT:
+            accepted[key] = event.seq
+        elif event.kind is EventKind.ROLE_START:
+            if performance not in started:
+                raise VerificationError(
+                    "well-formed",
+                    f"role {event.get('role')!r} started before "
+                    f"{performance} started")
+            if key not in accepted:
+                raise VerificationError(
+                    "well-formed",
+                    f"role {event.get('role')!r} started without an "
+                    f"accepted enrollment in {performance}")
+            if key in role_started:
+                raise VerificationError(
+                    "well-formed",
+                    f"role {event.get('role')!r} started twice in "
+                    f"{performance}")
+            role_started.add(key)
+        elif event.kind is EventKind.ROLE_END:
+            if key not in role_started:
+                raise VerificationError(
+                    "well-formed",
+                    f"role {event.get('role')!r} ended without starting "
+                    f"in {performance}")
+            role_ended.add(key)
+        elif event.kind is EventKind.PERFORMANCE_END:
+            if performance in ended:
+                raise VerificationError(
+                    "well-formed", f"{performance} ended twice")
+            ended.add(performance)
+            open_roles = {k for k in role_started - role_ended
+                          if k[0] == performance}
+            if open_roles:
+                raise VerificationError(
+                    "well-formed",
+                    f"{performance} ended with roles still active: "
+                    f"{sorted(repr(r) for _, r in open_roles)}")
+    return len(started)
+
+
+def comm_events_of_performance(tracer: Tracer,
+                               performance_id: str) -> list[TraceEvent]:
+    """COMM events whose rendezvous is addressed within ``performance_id``."""
+    selected = []
+    for event in tracer.of_kind(EventKind.COMM):
+        to = event.get("to")
+        if isinstance(to, RoleAddress) and to.performance_id == performance_id:
+            selected.append(event)
+    return selected
+
+
+def check_broadcast_delivery(tracer: Tracer, performance_id: str,
+                             value: Any, recipient_family: str = "recipient",
+                             count: int | None = None) -> int:
+    """Every recipient of the performance received exactly ``value``.
+
+    Returns the number of deliveries verified.
+    """
+    delivered: dict[Any, Any] = {}
+    for event in comm_events_of_performance(tracer, performance_id):
+        to = event.get("to")
+        role = to.role_id
+        if isinstance(role, tuple) and role[0] == recipient_family:
+            delivered[role] = event.get("value")
+    if count is not None and len(delivered) != count:
+        raise VerificationError(
+            "broadcast-delivery",
+            f"{performance_id}: expected {count} deliveries, "
+            f"saw {len(delivered)}")
+    wrong = {role: got for role, got in delivered.items() if got != value}
+    if wrong:
+        raise VerificationError(
+            "broadcast-delivery",
+            f"{performance_id}: wrong values delivered: {wrong!r}")
+    if not delivered:
+        raise VerificationError(
+            "broadcast-delivery",
+            f"{performance_id}: no deliveries to family "
+            f"{recipient_family!r} observed")
+    return len(delivered)
+
+
+def check_no_cross_performance_comm(tracer: Tracer) -> int:
+    """Role-addressed rendezvous stay within one performance.
+
+    The sender's presented alias and the target must agree on the
+    performance id.  Returns the number of role-addressed COMM events.
+    """
+    checked = 0
+    for event in tracer.of_kind(EventKind.COMM):
+        to = event.get("to")
+        sender_alias = event.get("sender_alias")
+        if not isinstance(to, RoleAddress):
+            continue
+        checked += 1
+        if isinstance(sender_alias, RoleAddress) and \
+                sender_alias.performance_id != to.performance_id:
+            raise VerificationError(
+                "performance-scoping",
+                f"rendezvous crossed performances: {sender_alias!r} -> "
+                f"{to!r}")
+    return checked
+
+
+def check_all(tracer: Tracer, instance: str | None = None) -> dict[str, int]:
+    """Run every generic checker; return {property: items checked}."""
+    return {
+        "successive-activations":
+            check_successive_activations(tracer, instance),
+        "well-formed": check_performances_well_formed(tracer, instance),
+        "performance-scoping": check_no_cross_performance_comm(tracer),
+    }

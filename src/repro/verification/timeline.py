@@ -1,0 +1,61 @@
+"""Textual performance timelines.
+
+:func:`render_timeline` turns a recorded trace into a small Gantt-style
+chart of performances and role activities — the visual analogue of the
+paper's Figure 1 timeline, generated from any run.
+"""
+
+from __future__ import annotations
+
+from ..runtime.tracing import Tracer
+from .metrics import performance_spans, role_durations
+from .properties import performances_in
+
+
+def render_timeline(tracer: Tracer, instance_name: str,
+                    width: int = 60) -> str:
+    """Render the instance's performances as an ASCII timeline.
+
+    One row per performance plus one per role activity within it.  Rows
+    show ``[====]`` bars positioned on a shared virtual-time axis scaled to
+    ``width`` characters.  Instantaneous activities render as ``|``.
+    """
+    spans = performance_spans(tracer, instance_name)
+    durations = role_durations(tracer, instance_name)
+    role_starts: dict[tuple[str, object], float] = {}
+    for event in tracer.events:
+        if event.get("instance") != instance_name:
+            continue
+        from ..runtime.tracing import EventKind
+        if event.kind is EventKind.ROLE_START:
+            role_starts[(event.get("performance"),
+                         event.get("role"))] = event.time
+
+    if not spans:
+        return f"(no completed performances for {instance_name})"
+
+    t_max = max(end for _, end in spans.values())
+    t_max = max(t_max, 1e-9)
+
+    def bar(start: float, end: float) -> str:
+        left = int(round(start / t_max * (width - 1)))
+        right = int(round(end / t_max * (width - 1)))
+        if right <= left:
+            return " " * left + "|"
+        return (" " * left + "[" + "=" * max(0, right - left - 1) + "]")
+
+    lines = [f"timeline of {instance_name} "
+             f"(0 .. {t_max:g} virtual time, {width} cols)"]
+    for performance in performances_in(tracer.events, instance_name):
+        if performance not in spans:
+            continue
+        start, end = spans[performance]
+        lines.append(f"{performance:<24} {bar(start, end)}")
+        for (perf, role), duration in sorted(durations.items(),
+                                             key=lambda kv: repr(kv[0])):
+            if perf != performance:
+                continue
+            role_start = role_starts.get((perf, role), start)
+            label = f"  {role!r}"
+            lines.append(f"{label:<24} {bar(role_start, role_start + duration)}")
+    return "\n".join(lines)

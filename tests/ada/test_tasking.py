@@ -1,0 +1,311 @@
+"""Tests for the Ada-style tasking substrate."""
+
+import pytest
+
+from repro.ada import (DELAY_TAKEN, ELSE_TAKEN, TERMINATE_TAKEN, AdaSystem,
+                       when)
+from repro.errors import AdaError, DeadlockError, ProcessFailure
+from repro.runtime import Delay, Scheduler
+
+
+def build_system():
+    scheduler = Scheduler()
+    return scheduler, AdaSystem(scheduler)
+
+
+def test_entry_call_and_accept_do():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield from ctx.accept_do("double", lambda x: x * 2)
+
+    def client(ctx):
+        result = yield from ctx.call("server", "double", 21)
+        return result
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["client"] == 42
+
+
+def test_caller_blocks_until_accept_body_completes():
+    """Extended rendezvous: the accept body runs before the caller resumes."""
+    scheduler, system = build_system()
+    log = []
+
+    def server(ctx):
+        call = yield from ctx.accept("sync")
+        yield Delay(10)
+        log.append("body-done")
+        call.complete("ok")
+
+    def client(ctx):
+        result = yield from ctx.call("server", "sync")
+        log.append("caller-resumed")
+        return result
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert log == ["body-done", "caller-resumed"]
+    assert result.results["client"] == "ok"
+    assert result.time == 10
+
+
+def test_entry_queue_is_fifo():
+    scheduler, system = build_system()
+    served = []
+
+    def server(ctx):
+        for _ in range(3):
+            call = yield from ctx.accept("req")
+            served.append(call.caller)
+            call.complete()
+
+    def client(ctx, delay):
+        yield Delay(delay)
+        yield from ctx.call("server", "req")
+
+    def make_client(delay):
+        return lambda ctx: client(ctx, delay)
+
+    system.task("server", server)
+    system.task("c-late", make_client(3))
+    system.task("c-early", make_client(1))
+    system.task("c-mid", make_client(2))
+    scheduler.run()
+    assert served == ["c-early", "c-mid", "c-late"]
+
+
+def test_entry_families_via_indexed_names():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        results = {}
+        for _ in range(2):
+            entry, call = yield from ctx.select(
+                [when(True, ("slot", 1)), when(True, ("slot", 2))])
+            results[entry] = call.args[0]
+            call.complete()
+        return results
+
+    def client(ctx, index, value):
+        yield from ctx.call("server", ("slot", index), value)
+
+    system.task("server", server)
+    system.task("c1", lambda ctx: client(ctx, 1, "a"))
+    system.task("c2", lambda ctx: client(ctx, 2, "b"))
+    result = scheduler.run()
+    assert result.results["server"] == {("slot", 1): "a", ("slot", 2): "b"}
+
+
+def test_select_honours_when_guards():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        entry, call = yield from ctx.select([
+            when(False, "closed"),
+            when(True, "open"),
+        ])
+        call.complete()
+        return entry
+
+    def client(ctx):
+        # A call on the closed entry must never be accepted.
+        yield Delay(1)
+        yield from ctx.call("server", "open")
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["server"] == "open"
+
+
+def test_select_else_taken_when_no_call_pending():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        entry, call = yield from ctx.select([when(True, "e")],
+                                            else_branch=True)
+        return entry
+
+    system.task("server", server)
+    result = scheduler.run()
+    assert result.results["server"] == ELSE_TAKEN
+
+
+def test_select_delay_alternative_times_out():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        entry, call = yield from ctx.select([when(True, "e")], delay=5)
+        return entry
+
+    system.task("server", server)
+    result = scheduler.run()
+    assert result.results["server"] == DELAY_TAKEN
+    assert result.time == 5
+
+
+def test_select_delay_alternative_accepts_call_before_deadline():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        entry, call = yield from ctx.select([when(True, "e")], delay=100)
+        call.complete("served")
+        return entry
+
+    def client(ctx):
+        yield Delay(2)
+        return (yield from ctx.call("server", "e"))
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["server"] == "e"
+    assert result.results["client"] == "served"
+    assert result.time == 2
+
+
+def test_select_terminate_fires_when_all_other_tasks_done():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        served = 0
+        while True:
+            entry, call = yield from ctx.select([when(True, "ping")],
+                                                terminate=True)
+            if entry == TERMINATE_TAKEN:
+                return served
+            call.complete()
+            served += 1
+
+    def client(ctx):
+        for _ in range(3):
+            yield from ctx.call("server", "ping")
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["server"] == 3
+
+
+def test_select_no_open_alternative_raises_program_error():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield from ctx.select([when(False, "e")])
+
+    system.task("server", server)
+    with pytest.raises(ProcessFailure) as excinfo:
+        scheduler.run()
+    assert isinstance(excinfo.value.original, AdaError)
+
+
+def test_select_multiple_escapes_rejected():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield from ctx.select([when(True, "e")], else_branch=True, delay=1)
+
+    system.task("server", server)
+    with pytest.raises(ProcessFailure) as excinfo:
+        scheduler.run()
+    assert isinstance(excinfo.value.original, AdaError)
+
+
+def test_calling_terminated_task_raises_tasking_error():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        return "done"
+        yield  # pragma: no cover
+
+    def client(ctx):
+        yield Delay(5)
+        with pytest.raises(AdaError):
+            yield from ctx.call("server", "e")
+        return "caught"
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["client"] == "caught"
+
+
+def test_callee_dying_mid_queue_wakes_caller_with_error():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield Delay(3)
+        return "leaving"
+
+    def client(ctx):
+        with pytest.raises(AdaError):
+            yield from ctx.call("server", "never_accepted")
+        return "caught"
+
+    system.task("server", server)
+    system.task("client", client)
+    result = scheduler.run()
+    assert result.results["client"] == "caught"
+
+
+def test_queue_length_attribute():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield Delay(10)
+        count_before = system.queue_length("server", "e")
+        while system.queue_length("server", "e"):
+            call = yield from ctx.accept("e")
+            call.complete()
+        return count_before
+
+    def client(ctx, i):
+        yield Delay(i)
+        yield from ctx.call("server", "e")
+
+    system.task("server", server)
+    for i in range(3):
+        system.task(f"c{i}", lambda ctx, i=i: client(ctx, i))
+    result = scheduler.run()
+    assert result.results["server"] == 3
+
+
+def test_terminated_attribute():
+    scheduler, system = build_system()
+
+    def quick(ctx):
+        yield Delay(1)
+
+    def watcher(ctx):
+        before = system.terminated("quick")
+        yield Delay(5)
+        after = system.terminated("quick")
+        return (before, after)
+
+    system.task("quick", quick)
+    system.task("watcher", watcher)
+    result = scheduler.run()
+    assert result.results["watcher"] == (False, True)
+
+
+def test_unserved_caller_is_deadlock():
+    scheduler, system = build_system()
+
+    def server(ctx):
+        yield Delay(1)
+        while True:  # never accepts, never finishes
+            yield Delay(1000)
+
+    def client(ctx):
+        yield from ctx.call("server", "ghost")
+
+    system.task("server", server)
+    system.task("client", client)
+    # The server loops on timers forever, so cap virtual time; the client
+    # must still be blocked at the horizon.
+    result = scheduler.run(until=10_000)
+    assert "client" not in result.results

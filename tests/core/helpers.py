@@ -1,0 +1,34 @@
+"""Shared helpers for core-engine tests."""
+
+import pytest
+
+from repro.core import Mode, Param, ScriptDef
+from repro.runtime import Scheduler
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(seed=0)
+
+
+def make_pair_script(name="pair", **script_kwargs):
+    """A two-role script: 'giver' passes a value to 'taker'."""
+    script = ScriptDef(name, **script_kwargs)
+
+    @script.role("giver", params=[Param("value", Mode.IN)])
+    def giver(ctx, value):
+        yield from ctx.send("taker", value)
+
+    @script.role("taker", params=[Param("value", Mode.OUT)])
+    def taker(ctx, value):
+        value.value = yield from ctx.receive("giver")
+
+    return script
+
+
+def enrolling(instance, role, partners=None, **actuals):
+    """A process body that enrolls once and returns the out-values."""
+    def body():
+        out = yield from instance.enroll(role, partners=partners, **actuals)
+        return out
+    return body()

@@ -1,0 +1,220 @@
+"""Focused tests for RoleContext: selects, senders, introspection."""
+
+import pytest
+
+from repro.core import (Initiation, Mode, Param, ReceiveFrom, ScriptDef,
+                        SendTo, Termination)
+from repro.errors import ProcessFailure, ScriptDefinitionError
+from repro.runtime import Delay, ELSE_BRANCH, Scheduler
+
+from .helpers import enrolling
+
+
+def run_roles(script, spawns, seed=0):
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+    for name, role, actuals in spawns:
+        scheduler.spawn(name, enrolling(instance, role, **actuals))
+    return scheduler.run(), instance
+
+
+def test_receive_with_sender_reports_role_id():
+    script = ScriptDef("s")
+
+    @script.role("hub", params=[Param("got", Mode.OUT)])
+    def hub(ctx, got):
+        value, sender = yield from ctx.receive(with_sender=True)
+        got.value = (value, sender)
+
+    @script.role_family("talker", [1, 2])
+    def talker(ctx, **_):
+        if ctx.index == 1:
+            yield from ctx.send("hub", "hello")
+        else:
+            yield from ()
+
+    result, _ = run_roles(script, [
+        ("H", "hub", {}), ("T1", ("talker", 1), {}),
+        ("T2", ("talker", 2), {})])
+    assert result.results["H"] == {"got": ("hello", ("talker", 1))}
+
+
+def test_context_introspection_fields():
+    script = ScriptDef("s")
+    observed = {}
+
+    @script.role_family("fam", [3, 7])
+    def fam(ctx):
+        if ctx.index == 3:
+            observed["index"] = ctx.index
+            observed["role_id"] = ctx.role_id
+            observed["process"] = ctx.process
+            observed["partners"] = ctx.partners()
+            observed["is_filled"] = ctx.is_filled(("fam", 7))
+            observed["count"] = ctx.enrolled_count("fam")
+            observed["indices"] = ctx.family_indices("fam")
+        yield from ()
+
+    run_roles(script, [("A", ("fam", 3), {}), ("B", ("fam", 7), {})])
+    assert observed["index"] == 3
+    assert observed["role_id"] == ("fam", 3)
+    assert observed["process"] == "A"
+    assert observed["partners"] == {("fam", 3): "A", ("fam", 7): "B"}
+    assert observed["is_filled"] is True
+    assert observed["count"] == 2
+    assert observed["indices"] == [3, 7]
+
+
+def test_singleton_role_has_no_index():
+    script = ScriptDef("s")
+    seen = {}
+
+    @script.role("only")
+    def only(ctx):
+        seen["index"] = ctx.index
+        yield from ()
+
+    run_roles(script, [("A", "only", {})])
+    assert seen["index"] is None
+
+
+def test_select_immediate_else_branch_in_role():
+    script = ScriptDef("s", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("poller", params=[Param("polls", Mode.OUT)])
+    def poller(ctx, polls):
+        attempts = 0
+        while True:
+            result = yield from ctx.select([ReceiveFrom("pusher")],
+                                           immediate=True)
+            attempts += 1
+            if result.index != ELSE_BRANCH:
+                polls.value = (attempts, result.value)
+                return
+            yield Delay(1)
+
+    @script.role("pusher")
+    def pusher(ctx):
+        yield Delay(5)
+        yield from ctx.send("poller", "data")
+
+    result, _ = run_roles(script, [("P", "poller", {}),
+                                   ("Q", "pusher", {})])
+    attempts, value = result.results["P"]["polls"]
+    assert value == "data"
+    assert attempts > 1  # really polled before the pusher was ready
+
+
+def test_select_invalid_branch_type_rejected():
+    script = ScriptDef("s")
+
+    @script.role("bad")
+    def bad(ctx):
+        yield from ctx.select(["not a branch"])  # type: ignore[list-item]
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("B", enrolling(instance, "bad"))
+    with pytest.raises(ProcessFailure):
+        scheduler.run()
+
+
+def test_send_to_unknown_role_blocks_as_unfillable():
+    """Communicating with a role id the script never declared fails the
+    enrollment validation at the send target stage."""
+    script = ScriptDef("s")
+
+    @script.role("a")
+    def a(ctx):
+        yield from ctx.send("never_declared", 1)
+
+    @script.role("b")
+    def b(ctx):
+        yield from ()
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("A", enrolling(instance, "a"))
+    scheduler.spawn("B", enrolling(instance, "b"))
+    # "never_declared" can never fill nor become absent; with the full role
+    # set critical and filled, it is absent by sealing -> distinguished
+    # value by default policy.
+    result = scheduler.run()
+    assert result.ok
+
+
+def test_select_send_and_receive_mixed_branches():
+    script = ScriptDef("s")
+
+    @script.role("middle", params=[Param("log", Mode.OUT)])
+    def middle(ctx, log):
+        entries = []
+        pending_give = True
+        pending_take = True
+        while pending_give or pending_take:
+            branches = []
+            labels = []
+            if pending_give:
+                branches.append(SendTo("taker", "gift"))
+                labels.append("gave")
+            if pending_take:
+                branches.append(ReceiveFrom("giver"))
+                labels.append("took")
+            result = yield from ctx.select(branches)
+            label = labels[result.index]
+            entries.append(label)
+            if label == "gave":
+                pending_give = False
+            else:
+                pending_take = False
+        log.value = sorted(entries)
+
+    @script.role("giver")
+    def giver(ctx):
+        yield from ctx.send("middle", "present")
+
+    @script.role("taker")
+    def taker(ctx):
+        yield from ctx.receive("middle")
+
+    result, _ = run_roles(script, [("M", "middle", {}),
+                                   ("G", "giver", {}),
+                                   ("T", "taker", {})])
+    assert result.results["M"] == {"log": ["gave", "took"]}
+
+
+def test_enroll_bare_singleton_and_unknown_role():
+    script = ScriptDef("s")
+
+    @script.role("a")
+    def a(ctx):
+        yield from ()
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def bad():
+        yield from instance.enroll("ghost")
+
+    scheduler.spawn("B", bad())
+    with pytest.raises(ProcessFailure) as excinfo:
+        scheduler.run()
+    assert isinstance(excinfo.value.original, ScriptDefinitionError)
+
+
+def test_role_to_role_tags_isolate_conversations():
+    script = ScriptDef("s")
+
+    @script.role("a", params=[Param("got", Mode.OUT)])
+    def a(ctx, got):
+        yield from ctx.send("b", "for-chan-1", tag="chan1")
+        got.value = yield from ctx.receive("b", tag="chan2")
+
+    @script.role("b")
+    def b(ctx):
+        value = yield from ctx.receive("a", tag="chan1")
+        yield from ctx.send("a", value.upper(), tag="chan2")
+
+    result, _ = run_roles(script, [("A", "a", {}), ("B", "b", {})])
+    assert result.results["A"] == {"got": "FOR-CHAN-1"}

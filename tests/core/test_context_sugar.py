@@ -1,0 +1,94 @@
+"""Tests for the RoleContext broadcast/gather conveniences."""
+
+from repro.core import Mode, Param, ScriptDef
+from repro.runtime import Delay, Scheduler
+
+from .helpers import enrolling
+
+
+def test_broadcast_reaches_all_family_members():
+    script = ScriptDef("s")
+
+    @script.role("hub", params=[Param("reached", Mode.OUT)])
+    def hub(ctx, reached):
+        reached.value = yield from ctx.broadcast("worker", "go")
+
+    @script.role_family("worker", [1, 2, 3], params=[Param("got", Mode.OUT)])
+    def worker(ctx, got):
+        got.value = yield from ctx.receive("hub")
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("H", enrolling(instance, "hub"))
+    for i in (1, 2, 3):
+        scheduler.spawn(f"W{i}", enrolling(instance, ("worker", i)))
+    result = scheduler.run()
+    assert result.results["H"] == {"reached": [1, 2, 3]}
+    assert all(result.results[f"W{i}"] == {"got": "go"} for i in (1, 2, 3))
+
+
+def test_gather_collects_out_of_order():
+    script = ScriptDef("s")
+
+    @script.role("hub", params=[Param("collected", Mode.OUT)])
+    def hub(ctx, collected):
+        collected.value = yield from ctx.gather("worker")
+
+    @script.role_family("worker", [1, 2, 3])
+    def worker(ctx):
+        # Higher indices report sooner.
+        yield Delay(10 - ctx.index)
+        yield from ctx.send("hub", ctx.index * 100)
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("H", enrolling(instance, "hub"))
+    for i in (1, 2, 3):
+        scheduler.spawn(f"W{i}", enrolling(instance, ("worker", i)))
+    result = scheduler.run()
+    assert result.results["H"] == {
+        "collected": {1: 100, 2: 200, 3: 300}}
+
+
+def test_broadcast_then_gather_round_trip():
+    script = ScriptDef("mapreduce")
+
+    @script.role("master", params=[Param("total", Mode.OUT)])
+    def master(ctx, total):
+        yield from ctx.broadcast("mapper", 7)
+        results = yield from ctx.gather("mapper")
+        total.value = sum(results.values())
+
+    @script.role_family("mapper", [1, 2, 3, 4])
+    def mapper(ctx):
+        value = yield from ctx.receive("master")
+        yield from ctx.send("master", value * ctx.index)
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("M", enrolling(instance, "master"))
+    for i in range(1, 5):
+        scheduler.spawn(f"W{i}", enrolling(instance, ("mapper", i)))
+    result = scheduler.run()
+    assert result.results["M"] == {"total": 7 * (1 + 2 + 3 + 4)}
+
+
+def test_broadcast_skips_absent_members():
+    """With a critical set of just the hub, unfilled workers are absent and
+    broadcast reaches nobody."""
+    script = ScriptDef("s")
+
+    @script.role("hub", params=[Param("reached", Mode.OUT)])
+    def hub(ctx, reached):
+        reached.value = yield from ctx.broadcast("worker", "go")
+
+    @script.role_family("worker", [1, 2])
+    def worker(ctx):
+        yield from ctx.receive("hub")
+
+    script.critical_role_set("hub")
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("H", enrolling(instance, "hub"))
+    result = scheduler.run()
+    assert result.results["H"] == {"reached": []}

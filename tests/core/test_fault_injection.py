@@ -1,0 +1,203 @@
+"""Fault injection: crashed participants and what the paper's model implies.
+
+In a synchronous-rendezvous world a crashed partner means the communication
+never commits; the kernel surfaces that as a detected deadlock with a
+diagnostic naming the stuck roles.  These tests document the failure modes
+of each policy combination.
+"""
+
+import pytest
+
+from repro.core import Initiation, Mode, Param, ScriptDef, Termination
+from repro.errors import DeadlockError
+from repro.monitors import Mailbox
+from repro.runtime import Delay, Scheduler
+from repro.scripts import ONE_READ_ALL_WRITE, ReplicatedLockService
+
+
+def make_broadcast_script(n=3):
+    script = ScriptDef("bc", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx, data):
+        for i in range(1, n + 1):
+            yield from ctx.send(("recipient", i), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx, data):
+        data.value = yield from ctx.receive("sender")
+
+    return script
+
+
+def test_crashed_recipient_blocks_delayed_broadcast():
+    """Delayed/delayed: the sender blocks on the dead recipient, and the
+    deadlock diagnostic names the stuck parties."""
+    script = ScriptDef("bc", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx, data):
+        for i in range(1, 4):
+            yield from ctx.send(("recipient", i), data)
+
+    @script.role_family("recipient", range(1, 4),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx, data):
+        # A receive window in virtual time, so a crash can land mid-role.
+        yield Delay(10)
+        data.value = yield from ctx.receive("sender")
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+
+    def listener(i):
+        yield from instance.enroll(("recipient", i))
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, 4):
+        scheduler.spawn(("R", i), listener(i))
+    # All enroll at t=0 and the performance starts; recipient 2 dies at
+    # t=5, while every role body is inside its Delay(10).
+    scheduler.kill_at(5, ("R", 2))
+    with pytest.raises(DeadlockError) as excinfo:
+        scheduler.run()
+    assert "T" in excinfo.value.blocked
+
+
+def test_crash_before_enrollment_leaves_script_waiting():
+    """A process killed before enrolling simply never arrives; the others
+    wait forever (delayed initiation is a global synchronisation)."""
+    script = make_broadcast_script(2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+
+    def listener(i, delay):
+        yield Delay(delay)
+        yield from instance.enroll(("recipient", i))
+
+    scheduler.spawn("T", transmitter())
+    scheduler.spawn(("R", 1), listener(1, 0))
+    scheduler.spawn(("R", 2), listener(2, 100))
+    scheduler.kill_at(1, ("R", 2))
+    with pytest.raises(DeadlockError):
+        scheduler.run()
+    assert instance.performance_count == 0
+
+
+def test_crashed_nonparticipant_does_not_disturb_performance():
+    """Killing a process that never enrolls leaves the script untouched."""
+    script = make_broadcast_script(2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+
+    def listener(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    def bystander():
+        yield Delay(1000)
+
+    scheduler.spawn("T", transmitter())
+    scheduler.spawn(("R", 1), listener(1))
+    scheduler.spawn(("R", 2), listener(2))
+    scheduler.spawn("bystander", bystander())
+    scheduler.kill_at(1, "bystander")
+    result = scheduler.run()
+    assert result.results[("R", 1)] == "v"
+    assert "bystander" in result.killed
+
+
+def test_crashed_manager_stalls_lock_service():
+    """The Figure 5 client needs all k managers; killing one wedges the
+    next performance, which the kernel reports rather than hiding."""
+    scheduler = Scheduler()
+    service = ReplicatedLockService(scheduler, k=3,
+                                    strategy=ONE_READ_ALL_WRITE)
+    service.expect_operations(2)
+    service.spawn_managers()
+
+    def client():
+        first = yield from service.read_lock("r", "x")
+        assert first == "granted"
+        yield Delay(10)
+        yield from service.read_lock("r", "y")  # never completes
+
+    scheduler.spawn("client", client())
+    scheduler.kill_at(5, ("manager-proc", 2))
+    with pytest.raises(DeadlockError):
+        scheduler.run()
+
+
+def test_kill_inside_monitor_wait_does_not_poison_lock():
+    """A process killed while parked in WAIT UNTIL leaves the monitor
+    usable for everyone else."""
+    box = Mailbox()
+    scheduler = Scheduler()
+
+    def starved_consumer():
+        yield from box.get()   # blocks: box empty
+
+    def producer():
+        yield Delay(10)
+        yield from box.put("x")
+
+    def late_consumer():
+        yield Delay(20)
+        item = yield from box.get()
+        return item
+
+    scheduler.spawn("starved", starved_consumer())
+    scheduler.spawn("producer", producer())
+    scheduler.spawn("late", late_consumer())
+    scheduler.kill_at(5, "starved")
+    result = scheduler.run()
+    assert result.results["late"] == "x"
+    assert not box.locked
+
+
+def test_immediate_termination_limits_blast_radius():
+    """Immediate/immediate pipeline: participants upstream of the crash are
+    freed; only the downstream tail is stuck."""
+    from repro.scripts import make_broadcast
+
+    script = make_broadcast(4, "pipeline")
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    freed = []
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+        freed.append("T")
+
+    def listener(i, delay=0):
+        yield Delay(delay)
+        yield from instance.enroll(("recipient", i))
+        freed.append(("R", i))
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, 5):
+        scheduler.spawn(("R", i), listener(i, delay=10 if i == 3 else 0))
+    # Recipient 3 dies before it would enroll at t=10; the wave already
+    # passed recipients 1 and 2.
+    scheduler.kill_at(5, ("R", 3))
+    with pytest.raises(DeadlockError) as excinfo:
+        scheduler.run()
+    assert "T" in freed
+    assert ("R", 1) in freed
+    # Recipient 2 is stuck forwarding to the dead role; 4 never receives.
+    assert ("R", 2) not in freed
+    assert ("R", 4) not in freed
+    assert ("R", 2) in excinfo.value.blocked
+    assert ("R", 4) in excinfo.value.blocked

@@ -1,0 +1,249 @@
+"""Open-ended scripts, recursive scripts, nested enrollment (Section V)."""
+
+import pytest
+
+from repro.core import (Initiation, Mode, Param, ScriptDef, SealPolicy,
+                        Termination)
+from repro.errors import PerformanceError
+from repro.runtime import Delay, Scheduler
+
+from .helpers import enrolling
+
+
+def make_open_broadcast(min_count=2, max_count=None):
+    """A broadcast whose recipient family is open-ended."""
+    script = ScriptDef("open_bc", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx, data):
+        for index in ctx.family_indices("listener"):
+            yield from ctx.send(("listener", index), data)
+
+    @script.role_family("listener", indices=None, min_count=min_count,
+                        max_count=max_count,
+                        params=[Param("data", Mode.OUT)])
+    def listener(ctx, data):
+        data.value = yield from ctx.receive("sender")
+
+    return script
+
+
+def test_open_family_delayed_initiation_waits_for_min_count():
+    script = make_open_broadcast(min_count=3)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("S", enrolling(instance, "sender", data="v"))
+
+    def listener(delay):
+        yield Delay(delay)
+        out = yield from instance.enroll("listener")
+        return out["data"]
+
+    scheduler.spawn("L1", listener(1))
+    scheduler.spawn("L2", listener(2))
+    scheduler.spawn("L3", listener(30))
+    result = scheduler.run()
+    # Nothing could start before the third listener arrived at t=30.
+    assert result.time >= 30
+    assert [result.results[f"L{i}"] for i in (1, 2, 3)] == ["v", "v", "v"]
+
+
+def test_open_family_members_get_fresh_indices():
+    script = make_open_broadcast(min_count=2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    scheduler.spawn("S", enrolling(instance, "sender", data=1))
+    scheduler.spawn("L1", enrolling(instance, "listener"))
+    scheduler.spawn("L2", enrolling(instance, "listener"))
+    scheduler.run()
+    performance = instance.performances[0]
+    assert performance.family_indices("listener") == [1, 2]
+
+
+def test_open_family_different_sizes_across_performances():
+    """Different performances of an open-ended script may have different
+    role structures."""
+    script = make_open_broadcast(min_count=1)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    # Performance 1: one listener; performance 2: two listeners.
+    scheduler.spawn("S1", enrolling(instance, "sender", data="first"))
+    scheduler.spawn("L1", enrolling(instance, "listener"))
+
+    def second_round_sender():
+        # Arrive after both second-round listeners are pooled, so the
+        # greedy extension packs them into one performance.
+        yield Delay(20)
+        yield from instance.enroll("sender", data="second")
+
+    def second_round_listener(name):
+        yield Delay(10)
+        out = yield from instance.enroll("listener")
+        return out["data"]
+
+    scheduler.spawn("S2", second_round_sender())
+    scheduler.spawn("L2", second_round_listener("L2"))
+    scheduler.spawn("L3", second_round_listener("L3"))
+    result = scheduler.run()
+    sizes = [len(p.family_indices("listener")) for p in instance.performances]
+    # Greedy extension packs whoever is pending; the first performance has
+    # one listener, the second the remaining two.
+    assert sorted(sizes) == [1, 2]
+    assert result.results["L2"] == "second"
+    assert result.results["L3"] == "second"
+
+
+def test_open_family_immediate_with_manual_seal():
+    """A gathering hub admits members until it closes enrollment itself."""
+    script = ScriptDef("gather", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("hub", params=[Param("count", Mode.OUT)])
+    def hub(ctx, count):
+        # Wait (in virtual time) for members to trickle in, then close.
+        yield Delay(100)
+        ctx.close_enrollment()
+        for index in ctx.family_indices("member"):
+            yield from ctx.send(("member", index), "go")
+        count.value = ctx.enrolled_count("member")
+
+    @script.role_family("member", indices=None, min_count=0)
+    def member(ctx):
+        yield from ctx.receive("hub")
+
+    script.critical_role_set("hub")
+    scheduler = Scheduler()
+    instance = script.instance(scheduler, seal_policy=SealPolicy.MANUAL)
+
+    scheduler.spawn("H", enrolling(instance, "hub"))
+
+    def joiner(delay):
+        yield Delay(delay)
+        yield from instance.enroll("member")
+
+    for i, delay in enumerate((10, 20, 30)):
+        scheduler.spawn(f"M{i}", joiner(delay))
+    result = scheduler.run()
+    assert result.results["H"] == {"count": 3}
+
+
+def test_manual_seal_requires_critical_coverage():
+    script = ScriptDef("s", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("a")
+    def a(ctx):
+        yield from ()
+
+    @script.role("b")
+    def b(ctx):
+        yield from ()
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler, seal_policy=SealPolicy.MANUAL)
+
+    def enroller():
+        # Joins the performance but critical set {a, b} is not covered.
+        yield from instance.enroll("a")
+
+    scheduler.spawn("A", enroller())
+    scheduler.run(until=100)
+    with pytest.raises(PerformanceError):
+        instance.seal_current()
+
+
+def test_seal_current_without_performance_rejected():
+    script = make_open_broadcast()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    with pytest.raises(PerformanceError):
+        instance.seal_current()
+
+
+def test_open_family_max_count_defers_extras_to_next_performance():
+    script = make_open_broadcast(min_count=1, max_count=2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    # Pool all three listeners first, then the sender: max_count=2 caps the
+    # first performance, the third listener waits for the next sender.
+    for i in range(3):
+        scheduler.spawn(f"L{i}", enrolling(instance, "listener"))
+    scheduler.spawn("S1", enrolling(instance, "sender", data="x"))
+
+    def second_sender():
+        yield Delay(1)
+        yield from instance.enroll("sender", data="y")
+
+    scheduler.spawn("S2", second_sender())
+    result = scheduler.run()
+    first, second = instance.performances
+    assert len(first.family_indices("listener")) == 2
+    assert len(second.family_indices("listener")) == 1
+    values = sorted(result.results[f"L{i}"]["data"] for i in range(3))
+    assert values == ["x", "x", "y"]
+
+
+def test_recursive_script_role_enrolls_in_fresh_instance():
+    """Recursive scripts: a role enrolls in another instance of its own
+    script definition (a divide-and-conquer countdown)."""
+    script = ScriptDef("countdown", initiation=Initiation.DELAYED,
+                       termination=Termination.DELAYED)
+    reached = []
+
+    @script.role("worker", params=[Param("n", Mode.IN)])
+    def worker(ctx, n):
+        reached.append(n)
+        yield from ()
+
+    def recursive_process(scheduler, script, n):
+        def body():
+            instance = script.instance(scheduler, name=f"cd{n}")
+            yield from instance.enroll("worker", n=n)
+            if n > 0:
+                # Nested enrollment into a fresh instance (recursion).
+                inner = script.instance(scheduler, name=f"cd{n}-inner")
+                yield from inner.enroll("worker", n=n - 1)
+        return body()
+
+    scheduler = Scheduler()
+    scheduler.spawn("P", recursive_process(scheduler, script, 2))
+    scheduler.run()
+    assert reached == [2, 1]
+
+
+def test_nested_enrollment_role_enrolls_in_other_script():
+    """Nested enrollment: a role body enrolls in a different script."""
+    outer = ScriptDef("outer", initiation=Initiation.DELAYED,
+                      termination=Termination.DELAYED)
+    inner = ScriptDef("inner", initiation=Initiation.DELAYED,
+                      termination=Termination.DELAYED)
+
+    @inner.role("ping", params=[Param("v", Mode.IN)])
+    def ping(ctx, v):
+        yield from ctx.send("pong", v)
+
+    @inner.role("pong", params=[Param("v", Mode.OUT)])
+    def pong(ctx, v):
+        v.value = yield from ctx.receive("ping")
+
+    scheduler = Scheduler()
+    inner_instance = inner.instance(scheduler)
+
+    @outer.role("driver", params=[Param("result", Mode.OUT)])
+    def driver(ctx, result):
+        out = yield from inner_instance.enroll("ping", v="nested")
+        result.value = "sent"
+
+    @outer.role("bystander")
+    def bystander(ctx):
+        yield from ()
+
+    outer_instance = outer.instance(scheduler)
+    scheduler.spawn("D", enrolling(outer_instance, "driver"))
+    scheduler.spawn("B", enrolling(outer_instance, "bystander"))
+    scheduler.spawn("R", enrolling(inner_instance, "pong"))
+    result = scheduler.run()
+    assert result.results["D"] == {"result": "sent"}
+    assert result.results["R"] == {"v": "nested"}

@@ -1,0 +1,91 @@
+"""Tests for parameter modes, binding and copy-back."""
+
+import pytest
+
+from repro.core import Cell, Mode, Param, Ref
+from repro.core.params import bind_formals, copy_back, validate_actuals
+from repro.errors import EnrollmentError, ScriptDefinitionError
+
+
+def test_param_name_must_be_identifier():
+    with pytest.raises(ScriptDefinitionError):
+        Param("not valid", Mode.IN)
+
+
+def test_validate_actuals_rejects_unknown_names():
+    params = [Param("x", Mode.IN)]
+    with pytest.raises(EnrollmentError) as excinfo:
+        validate_actuals("r", params, {"x": 1, "y": 2})
+    assert "y" in str(excinfo.value)
+
+
+def test_validate_actuals_requires_in_params():
+    params = [Param("x", Mode.IN), Param("y", Mode.OUT)]
+    with pytest.raises(EnrollmentError):
+        validate_actuals("r", params, {})
+    # OUT may be omitted.
+    validate_actuals("r", params, {"x": 1})
+
+
+def test_validate_actuals_requires_in_out_params():
+    params = [Param("z", Mode.IN_OUT)]
+    with pytest.raises(EnrollmentError):
+        validate_actuals("r", params, {})
+
+
+def test_bind_formals_in_copies_value():
+    params = [Param("x", Mode.IN)]
+    bound = bind_formals(params, {"x": 41})
+    assert bound["x"] == 41
+
+
+def test_bind_formals_in_dereferences_ref():
+    params = [Param("x", Mode.IN)]
+    bound = bind_formals(params, {"x": Ref(10)})
+    assert bound["x"] == 10
+
+
+def test_bind_formals_out_gives_empty_cell():
+    params = [Param("y", Mode.OUT)]
+    bound = bind_formals(params, {})
+    assert isinstance(bound["y"], Cell)
+    assert bound["y"].value is None
+
+
+def test_bind_formals_in_out_preloads_cell():
+    params = [Param("z", Mode.IN_OUT)]
+    bound = bind_formals(params, {"z": 5})
+    assert isinstance(bound["z"], Cell)
+    assert bound["z"].value == 5
+
+
+def test_copy_back_returns_out_values_and_updates_refs():
+    params = [Param("x", Mode.IN), Param("y", Mode.OUT),
+              Param("z", Mode.IN_OUT)]
+    ref_y = Ref()
+    ref_z = Ref(1)
+    actuals = {"x": 0, "y": ref_y, "z": ref_z}
+    bound = bind_formals(params, actuals)
+    bound["y"].value = "result"
+    bound["z"].value = 2
+    out = copy_back(params, bound, actuals)
+    assert out == {"y": "result", "z": 2}
+    assert ref_y.value == "result"
+    assert ref_z.value == 2
+
+
+def test_copy_back_without_refs_still_returns_values():
+    params = [Param("y", Mode.OUT)]
+    actuals = {}
+    bound = bind_formals(params, actuals)
+    bound["y"].value = 7
+    assert copy_back(params, bound, actuals) == {"y": 7}
+
+
+def test_in_param_isolation_between_binding_and_actual():
+    """Value-mode semantics: mutating the bound name does not leak out."""
+    params = [Param("x", Mode.IN)]
+    ref = Ref([1, 2])
+    bound = bind_formals(params, {"x": ref})
+    bound["x"] = "overwritten"
+    assert ref.value == [1, 2]

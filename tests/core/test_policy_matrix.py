@@ -1,0 +1,102 @@
+"""The full initiation x termination policy matrix on one script.
+
+Section II presents initiation and termination as orthogonal choices; this
+module runs the same two-role hand-off under all four combinations and
+checks each combination's distinguishing observable.
+"""
+
+import pytest
+
+from repro.core import Initiation, Mode, Param, ScriptDef, Termination
+from repro.runtime import Delay, GetTime, Scheduler
+
+POLICIES = [(i, t) for i in Initiation for t in Termination]
+
+
+def build_script(initiation, termination):
+    script = ScriptDef(f"m_{initiation.value}_{termination.value}",
+                       initiation=initiation, termination=termination)
+    observations = {}
+
+    @script.role("fast", params=[Param("x", Mode.IN)])
+    def fast(ctx, x):
+        observations["fast_start"] = yield GetTime()
+        yield from ctx.send("slow", x)
+
+    @script.role("slow", params=[Param("x", Mode.OUT)])
+    def slow(ctx, x):
+        observations["slow_start"] = yield GetTime()
+        x.value = yield from ctx.receive("fast")
+        yield Delay(20)  # the slow role lingers
+
+    return script, observations
+
+
+def run_combo(initiation, termination, slow_arrival=10.0):
+    script, observations = build_script(initiation, termination)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    freed = {}
+
+    def fast_process():
+        yield from instance.enroll("fast", x="v")
+        freed["fast"] = yield GetTime()
+
+    def slow_process():
+        yield Delay(slow_arrival)
+        out = yield from instance.enroll("slow")
+        freed["slow"] = yield GetTime()
+        return out["x"]
+
+    scheduler.spawn("F", fast_process())
+    scheduler.spawn("S", slow_process())
+    result = scheduler.run()
+    return observations, freed, result
+
+
+@pytest.mark.parametrize("initiation,termination", POLICIES)
+def test_value_delivered_under_every_combination(initiation, termination):
+    observations, freed, result = run_combo(initiation, termination)
+    assert result.results["S"] == "v"
+
+
+@pytest.mark.parametrize("termination", list(Termination))
+def test_delayed_initiation_starts_roles_together(termination):
+    observations, _, _ = run_combo(Initiation.DELAYED, termination)
+    assert observations["fast_start"] == observations["slow_start"] == 10.0
+
+
+@pytest.mark.parametrize("termination", list(Termination))
+def test_immediate_initiation_starts_first_role_at_once(termination):
+    observations, _, _ = run_combo(Initiation.IMMEDIATE, termination)
+    assert observations["fast_start"] == 0.0
+    assert observations["slow_start"] == 10.0
+
+
+@pytest.mark.parametrize("initiation", list(Initiation))
+def test_immediate_termination_frees_fast_role_early(initiation):
+    _, freed, _ = run_combo(initiation, Termination.IMMEDIATE)
+    # fast's body ends at t=10 (the rendezvous); slow lingers to t=30.
+    assert freed["fast"] == 10.0
+    assert freed["slow"] == 30.0
+
+
+@pytest.mark.parametrize("initiation", list(Initiation))
+def test_delayed_termination_frees_everyone_together(initiation):
+    _, freed, _ = run_combo(initiation, Termination.DELAYED)
+    assert freed["fast"] == freed["slow"] == 30.0
+
+
+def test_matrix_summary_of_distinguishing_observables():
+    """One table capturing the four combinations' behaviour at once."""
+    rows = {}
+    for initiation, termination in POLICIES:
+        observations, freed, _ = run_combo(initiation, termination)
+        rows[(initiation.value, termination.value)] = (
+            observations["fast_start"], freed["fast"], freed["slow"])
+    assert rows == {
+        ("delayed", "delayed"): (10.0, 30.0, 30.0),
+        ("delayed", "immediate"): (10.0, 10.0, 30.0),
+        ("immediate", "delayed"): (0.0, 30.0, 30.0),
+        ("immediate", "immediate"): (0.0, 10.0, 30.0),
+    }

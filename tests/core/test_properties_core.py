@@ -1,0 +1,179 @@
+"""Property-based tests for enrollment matching and script semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Initiation, Mode, Param, Ref, ScriptDef, Termination
+from repro.core.enrollment import EnrollmentRequest, normalize_partners
+from repro.core.matching import solve
+from repro.runtime import Scheduler
+from repro.verification import check_all
+
+
+# ---------------------------------------------------------------------------
+# Matching: generated pools always yield *consistent* assignments.
+# ---------------------------------------------------------------------------
+
+ROLES = ["a", "b", "c"]
+PROCESSES = ["P", "Q", "R", "S", "T"]
+
+
+@st.composite
+def request_pools(draw):
+    count = draw(st.integers(1, 8))
+    pool = []
+    for _ in range(count):
+        process = draw(st.sampled_from(PROCESSES))
+        role = draw(st.sampled_from(ROLES))
+        partners = {}
+        for other in draw(st.sets(st.sampled_from(ROLES), max_size=2)):
+            allowed = draw(st.sets(st.sampled_from(PROCESSES), min_size=1,
+                                   max_size=3))
+            partners[other] = allowed
+        pool.append(EnrollmentRequest(
+            process=process, role_id=role, actuals={},
+            partners=normalize_partners(partners)))
+    return pool
+
+
+def assignment_is_consistent(assignment):
+    bindings = assignment.bindings
+    # No process fills two roles.
+    processes = [r.process for r in bindings.values()]
+    if len(set(processes)) != len(processes):
+        return False
+    # Every request's constraints hold against the final binding, for
+    # every role that is actually filled.
+    for role, request in bindings.items():
+        if request.role_id != role:
+            return False
+        for constrained_role, allowed in request.partners.items():
+            partner = bindings.get(constrained_role)
+            if partner is not None and partner.process not in allowed:
+                return False
+    return True
+
+
+@given(pool=request_pools(), critical_index=st.integers(0, 2))
+@settings(max_examples=150, deadline=None)
+def test_solve_returns_only_consistent_assignments(pool, critical_index):
+    critical = [frozenset({ROLES[critical_index]})]
+    assignment = solve(pool, critical, {}, {}, {},
+                       frozenset(ROLES))
+    if assignment is None:
+        return
+    assert ROLES[critical_index] in assignment.bindings
+    assert assignment_is_consistent(assignment)
+
+
+@given(pool=request_pools())
+@settings(max_examples=100, deadline=None)
+def test_solve_finds_assignment_when_unconstrained_request_exists(pool):
+    """If some pending request for the critical role has no constraints at
+    all, the matcher must find *some* assignment (it can always take just
+    that request)."""
+    critical_role = "a"
+    unconstrained = [r for r in pool
+                     if r.role_id == critical_role and not r.partners]
+    assignment = solve(pool, [frozenset({critical_role})], {}, {}, {},
+                       frozenset(ROLES))
+    if unconstrained:
+        assert assignment is not None
+
+
+@given(pool=request_pools())
+@settings(max_examples=100, deadline=None)
+def test_solve_prefers_earlier_arrivals_for_critical_slot(pool):
+    """With no constraints in play, the earliest pending request for the
+    critical role wins (FIFO fairness)."""
+    critical_role = "b"
+    candidates = sorted((r for r in pool if r.role_id == critical_role),
+                        key=lambda r: r.seq)
+    if not candidates or any(r.partners for r in pool):
+        return
+    # Also require distinct processes so the greedy search is unambiguous.
+    assignment = solve(pool, [frozenset({critical_role})], {}, {}, {},
+                       frozenset(ROLES))
+    assert assignment is not None
+    assert assignment.bindings[critical_role] is candidates[0]
+
+
+# ---------------------------------------------------------------------------
+# Engine: random enrollment schedules preserve the paper's invariants.
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 2**16), rounds=st.integers(1, 5),
+       n=st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_random_broadcast_schedules_satisfy_invariants(seed, rounds, n):
+    script = ScriptDef("prop_bc")
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx, data):
+        for i in range(1, n + 1):
+            yield from ctx.send(("recipient", i), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx, data):
+        data.value = yield from ctx.receive("sender")
+
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        for r in range(rounds):
+            yield from instance.enroll("sender", data=("v", r))
+
+    def listener(i):
+        got = []
+        for _ in range(rounds):
+            box = Ref()
+            yield from instance.enroll(("recipient", i), data=box)
+            got.append(box.value)
+        return got
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), listener(i))
+    result = scheduler.run()
+
+    # Figure 2's pairing property, generalised to any rounds/recipients.
+    for i in range(1, n + 1):
+        assert result.results[("R", i)] == [("v", r) for r in range(rounds)]
+    # The paper's structural invariants hold on the full trace.
+    report = check_all(scheduler.tracer, instance.name)
+    assert report["successive-activations"] == rounds
+    assert report["well-formed"] == rounds
+
+
+@given(seed=st.integers(0, 2**16), n=st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_immediate_policies_one_performance_per_full_round(seed, n):
+    """However the scheduler interleaves arrivals, a pipeline broadcast
+    with all roles critical forms exactly one performance."""
+    from repro.scripts import make_broadcast
+    from repro.runtime import Delay, Choice
+
+    script = make_broadcast(n, "pipeline")
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        pause = yield Choice((0, 1, 5))
+        yield Delay(pause)
+        yield from instance.enroll("sender", data="w")
+
+    def listener(i):
+        pause = yield Choice((0, 2, 7))
+        yield Delay(pause)
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), listener(i))
+    result = scheduler.run()
+    assert instance.performance_count == 1
+    assert all(result.results[("R", i)] == "w" for i in range(1, n + 1))

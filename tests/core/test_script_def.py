@@ -1,0 +1,144 @@
+"""Tests for ScriptDef: role declaration, critical sets, validation."""
+
+import pytest
+
+from repro.core import (Initiation, Param, RoleFamily, RoleSpec, ScriptDef,
+                        Termination, family_member)
+from repro.errors import ScriptDefinitionError
+
+
+def _noop_body(ctx):
+    yield from ()
+
+
+def make_script(**kwargs):
+    script = ScriptDef("s", **kwargs)
+    script.add_role("a", _noop_body)
+    script.add_role_family("fam", _noop_body, indices=range(1, 4))
+    return script
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ScriptDefinitionError):
+        ScriptDef("")
+
+
+def test_duplicate_role_rejected():
+    script = ScriptDef("s")
+    script.add_role("a", _noop_body)
+    with pytest.raises(ScriptDefinitionError):
+        script.add_role("a", _noop_body)
+    with pytest.raises(ScriptDefinitionError):
+        script.add_role_family("a", _noop_body, indices=[1])
+
+
+def test_default_policies_are_delayed():
+    script = ScriptDef("s")
+    assert script.initiation is Initiation.DELAYED
+    assert script.termination is Termination.DELAYED
+
+
+def test_closed_role_ids_expand_families():
+    script = make_script()
+    assert script.closed_role_ids == frozenset(
+        {"a", ("fam", 1), ("fam", 2), ("fam", 3)})
+
+
+def test_implicit_critical_set_is_all_roles():
+    script = make_script()
+    assert script.critical_sets == [frozenset(
+        {"a", ("fam", 1), ("fam", 2), ("fam", 3)})]
+
+
+def test_critical_set_family_name_expands_members():
+    script = make_script()
+    script.critical_role_set("a", "fam")
+    assert script.critical_sets == [frozenset(
+        {"a", ("fam", 1), ("fam", 2), ("fam", 3)})]
+
+
+def test_multiple_critical_sets_are_alternatives():
+    script = make_script()
+    script.add_role("b", _noop_body)
+    script.critical_role_set("a")
+    script.critical_role_set("b")
+    assert len(script.critical_sets) == 2
+
+
+def test_critical_set_rejects_unknown_role():
+    script = make_script()
+    with pytest.raises(ScriptDefinitionError):
+        script.critical_role_set("ghost")
+    with pytest.raises(ScriptDefinitionError):
+        script.critical_role_set(("fam", 99))
+
+
+def test_critical_set_accepts_concrete_member():
+    script = make_script()
+    script.critical_role_set("a", ("fam", 2))
+    assert frozenset({"a", ("fam", 2)}) in script.critical_sets
+
+
+def test_open_family_name_stays_unexpanded_in_critical_set():
+    script = ScriptDef("s")
+    script.add_role_family("members", _noop_body, indices=None, min_count=2)
+    script.critical_role_set("members")
+    assert script.critical_sets == [frozenset({"members"})]
+
+
+def test_declaration_for_resolves_singletons_members_and_families():
+    script = make_script()
+    assert isinstance(script.declaration_for("a"), RoleSpec)
+    assert isinstance(script.declaration_for("fam"), RoleFamily)
+    assert isinstance(script.declaration_for(("fam", 2)), RoleFamily)
+    with pytest.raises(ScriptDefinitionError):
+        script.declaration_for("ghost")
+    with pytest.raises(ScriptDefinitionError):
+        script.declaration_for(("fam", 9))
+
+
+def test_family_rejects_duplicate_or_empty_indices():
+    with pytest.raises(ScriptDefinitionError):
+        RoleFamily("f", _noop_body, indices=(1, 1))
+    with pytest.raises(ScriptDefinitionError):
+        RoleFamily("f", _noop_body, indices=())
+
+
+def test_open_family_bounds_validation():
+    with pytest.raises(ScriptDefinitionError):
+        RoleFamily("f", _noop_body, indices=None, min_count=-1)
+    with pytest.raises(ScriptDefinitionError):
+        RoleFamily("f", _noop_body, indices=None, min_count=3, max_count=2)
+
+
+def test_role_decorator_registers_and_returns_function():
+    script = ScriptDef("s")
+
+    @script.role("r", params=[Param("x")])
+    def body(ctx, x):
+        yield from ()
+
+    assert "r" in script.declarations
+    assert script.declarations["r"].body is body
+
+
+def test_generic_scripts_via_factory_function():
+    """Genericity 'as the host language allows': a plain factory."""
+    def make_broadcast(n):
+        script = ScriptDef(f"broadcast{n}")
+        script.add_role("sender", _noop_body)
+        script.add_role_family("recipient", _noop_body, indices=range(1, n + 1))
+        return script
+
+    assert len(make_broadcast(3).closed_role_ids) == 4
+    assert len(make_broadcast(7).closed_role_ids) == 8
+
+
+def test_script_with_no_roles_has_no_critical_sets():
+    script = ScriptDef("empty")
+    with pytest.raises(ScriptDefinitionError):
+        _ = script.critical_sets
+
+
+def test_family_member_helper():
+    assert family_member("fam", 2) == ("fam", 2)

@@ -1,0 +1,148 @@
+"""Conditional enrollment: the withdraw_when guard."""
+
+import pytest
+
+from repro.core import Initiation, ScriptDef, Termination
+from repro.runtime import Delay, EventKind, Scheduler
+
+from .helpers import make_pair_script
+
+
+def test_withdrawn_enrollment_returns_none():
+    script = make_pair_script()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    flag = {"stop": False}
+
+    def impatient():
+        out = yield from instance.enroll(
+            "giver", value=1, withdraw_when=lambda: flag["stop"])
+        return out
+
+    def switch():
+        yield Delay(10)
+        flag["stop"] = True
+        yield Delay(0)
+
+    scheduler.spawn("P", impatient())
+    scheduler.spawn("S", switch())
+    result = scheduler.run()
+    assert result.results["P"] is None
+    assert instance.pending_count == 0
+    assert instance.performance_count == 0
+
+
+def test_withdrawal_loses_race_to_assignment():
+    """If the performance forms before the predicate flips, the enrollment
+    proceeds normally and returns out-values."""
+    script = make_pair_script()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    flag = {"stop": False}
+
+    def giver():
+        out = yield from instance.enroll(
+            "giver", value="payload", withdraw_when=lambda: flag["stop"])
+        return out
+
+    def taker():
+        yield Delay(1)
+        out = yield from instance.enroll("taker")
+        return out
+
+    def switch():
+        yield Delay(100)
+        flag["stop"] = True
+        yield Delay(0)
+
+    scheduler.spawn("G", giver())
+    scheduler.spawn("T", taker())
+    scheduler.spawn("S", switch())
+    result = scheduler.run()
+    assert result.results["G"] == {}
+    assert result.results["T"] == {"value": "payload"}
+
+
+def test_withdrawal_emits_trace_marker():
+    script = make_pair_script()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def impatient():
+        yield from instance.enroll("giver", value=1,
+                                   withdraw_when=lambda: True)
+
+    scheduler.spawn("P", impatient())
+    result = scheduler.run()
+    withdrawals = [e for e in result.tracer.of_kind(EventKind.ENROLL_REQUEST)
+                   if e.get("withdrawn")]
+    assert len(withdrawals) == 1
+    assert withdrawals[0].process == "P"
+
+
+def test_withdrawn_request_does_not_block_other_matches():
+    """A withdrawn competitor must not occupy the role slot."""
+    script = make_pair_script()
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    flag = {"stop": False}
+
+    def quitter():
+        out = yield from instance.enroll(
+            "taker", withdraw_when=lambda: flag["stop"])
+        return out
+
+    def switch():
+        yield Delay(5)
+        flag["stop"] = True
+        yield Delay(0)
+
+    def late_taker():
+        yield Delay(10)
+        out = yield from instance.enroll("taker")
+        return out
+
+    def late_giver():
+        yield Delay(20)
+        out = yield from instance.enroll("giver", value="v")
+        return out
+
+    scheduler.spawn("Q", quitter())
+    scheduler.spawn("S", switch())
+    scheduler.spawn("T", late_taker())
+    scheduler.spawn("G", late_giver())
+    result = scheduler.run()
+    assert result.results["Q"] is None
+    assert result.results["T"] == {"value": "v"}
+
+
+def test_immediate_initiation_withdrawal():
+    script = make_pair_script(initiation=Initiation.IMMEDIATE,
+                              termination=Termination.IMMEDIATE)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def first_taker():
+        # Joins the performance at once (immediate initiation).
+        out = yield from instance.enroll("taker")
+        return out
+
+    def second_taker():
+        # Role already filled; pools, then withdraws at t=5.
+        yield Delay(1)
+        deadline = 5.0
+        out = yield from instance.enroll(
+            "taker", withdraw_when=lambda: scheduler.now >= deadline)
+        return out
+
+    def giver():
+        yield Delay(10)
+        out = yield from instance.enroll("giver", value="x")
+        return out
+
+    scheduler.spawn("T1", first_taker())
+    scheduler.spawn("T2", second_taker())
+    scheduler.spawn("G", giver())
+    result = scheduler.run()
+    assert result.results["T1"] == {"value": "x"}
+    assert result.results["T2"] is None

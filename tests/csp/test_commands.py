@@ -1,0 +1,188 @@
+"""Tests for CSP guarded commands and naming conventions."""
+
+import pytest
+
+from repro.csp import (alternative, element, guard, inp, out, parallel,
+                       process_array, repetitive)
+from repro.errors import CSPError, DeadlockError, ProcessFailure
+from repro.runtime import ELSE_BRANCH, Delay
+
+
+def test_output_and_input_commands_rendezvous():
+    def producer():
+        yield out("consumer", 5)
+
+    def consumer():
+        value = yield inp("producer")
+        return value * 2
+
+    result = parallel({"producer": producer(), "consumer": consumer()})
+    assert result.results["consumer"] == 10
+
+
+def test_alternative_no_enabled_guard_fails():
+    def stuck():
+        yield from alternative([guard(False, inp("x")),
+                                guard(False, inp("y"))])
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        parallel({"stuck": stuck()})
+    assert isinstance(excinfo.value.original, CSPError)
+
+
+def test_alternative_pure_boolean_guard_taken():
+    def chooser():
+        index, value = yield from alternative([
+            guard(True),          # pure boolean guard
+            guard(False, inp("ghost")),
+        ])
+        return (index, value)
+
+    result = parallel({"chooser": chooser()})
+    assert result.results["chooser"] == (0, None)
+
+
+def test_alternative_prefers_ready_comm_over_pure_guard():
+    def sender():
+        yield out("chooser", "msg")
+
+    def chooser():
+        # Let the sender's offer get posted first.
+        yield Delay(1)
+        index, value = yield from alternative([
+            guard(True),                 # pure guard, always enabled
+            guard(True, inp("sender")),  # comm guard, ready now
+        ])
+        return (index, value)
+
+    result = parallel({"sender": sender(), "chooser": chooser()})
+    assert result.results["chooser"] == (1, "msg")
+
+
+def test_alternative_immediate_returns_else_branch():
+    def impatient():
+        index, value = yield from alternative(
+            [guard(True, inp("ghost"))], immediate=True)
+        return index
+
+    result = parallel({"impatient": impatient()})
+    assert result.results["impatient"] == ELSE_BRANCH
+
+
+def test_alternative_receive_guard_returns_value():
+    def sender():
+        yield out("chooser", 99)
+
+    def chooser():
+        index, value = yield from alternative([
+            guard(True, inp("sender")),
+            guard(True, inp("other")),
+        ])
+        return (index, value)
+
+    result = parallel({"chooser": chooser(), "sender": sender()})
+    assert result.results["chooser"] == (0, 99)
+
+
+def test_repetitive_terminates_when_all_guards_false():
+    """The transmitter loop of Figure 6: send to each recipient once."""
+    def transmitter(n):
+        sent = [False] * n
+        received_by = []
+
+        def guards():
+            return [guard(not sent[k], out(element("recipient", k + 1), "x"),
+                          action=lambda _v, k=k: sent.__setitem__(k, True))
+                    for k in range(n)]
+
+        count = yield from repetitive(guards)
+        return count
+
+    def recipient(i):
+        value = yield inp()
+        return value
+
+    processes = {"transmitter": transmitter(3)}
+    processes.update(process_array("recipient", 3, recipient))
+    result = parallel(processes)
+    assert result.results["transmitter"] == 3
+    for i in range(1, 4):
+        assert result.results[element("recipient", i)] == "x"
+
+
+def test_repetitive_with_generator_action():
+    def echo_server(limit):
+        served = 0
+
+        def handle(value):
+            nonlocal served
+            served += 1
+            yield out("client", value + 1)
+
+        def guards():
+            return [guard(served < limit, inp("client"), action=handle)]
+
+        yield from repetitive(guards)
+        return served
+
+    def client(limit):
+        total = 0
+        for i in range(limit):
+            yield out("server", i)
+            total += yield inp("server")
+        return total
+
+    result = parallel({"server": echo_server(3), "client": client(3)})
+    assert result.results["server"] == 3
+    assert result.results["client"] == 1 + 2 + 3
+
+
+def test_repetitive_max_iterations_guard():
+    def spinner():
+        def guards():
+            return [guard(True)]
+
+        yield from repetitive(guards, max_iterations=10)
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        parallel({"spinner": spinner()})
+    assert isinstance(excinfo.value.original, CSPError)
+
+
+def test_process_array_addresses():
+    assert element("worker", 3) == ("worker", 3)
+    bodies = process_array("worker", 2, lambda i: iter(()), start=5)
+    assert set(bodies) == {("worker", 5), ("worker", 6)}
+
+
+def test_strict_naming_mismatch_deadlocks():
+    """CSP naming: receiving from the wrong partner never matches."""
+    def sender():
+        yield out("receiver", 1)
+
+    def receiver():
+        yield inp("somebody_else")
+
+    with pytest.raises(DeadlockError):
+        parallel({"sender": sender(), "receiver": receiver()})
+
+
+def test_nondeterministic_alternative_varies_with_seed():
+    outcomes = set()
+    for seed in range(10):
+        def sender(name):
+            yield out("chooser", name)
+
+        def chooser():
+            yield Delay(1)  # both senders post first
+            index, value = yield from alternative([
+                guard(True, inp(("s", 1))),
+                guard(True, inp(("s", 2))),
+            ])
+            _ = yield inp()  # drain the loser
+            return value
+
+        result = parallel({("s", 1): sender("one"), ("s", 2): sender("two"),
+                           "chooser": chooser()}, seed=seed)
+        outcomes.add(result.results["chooser"])
+    assert outcomes == {"one", "two"}

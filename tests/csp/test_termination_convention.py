@@ -1,0 +1,121 @@
+"""CSP distributed termination convention and QueryProcesses."""
+
+import pytest
+
+from repro.csp import guard, inp, out, parallel, repetitive
+from repro.errors import DeadlockError
+from repro.runtime import Delay, QueryProcesses, run_processes
+
+
+def test_query_processes_reports_liveness():
+    def short_lived():
+        yield Delay(1)
+
+    def watcher():
+        before = yield QueryProcesses(("short", "ghost"))
+        yield Delay(5)
+        after = yield QueryProcesses(("short", "ghost"))
+        return before, after
+
+    result = run_processes({"short": short_lived(), "watcher": watcher()})
+    before, after = result.results["watcher"]
+    assert before == {"short": False, "ghost": True}
+    assert after == {"short": True, "ghost": True}
+
+
+def test_server_without_dtc_deadlocks_when_clients_exit():
+    """The motivating failure: a server looping on client guards blocks
+    forever once every client has finished."""
+    def server():
+        def guards():
+            return [guard(True, inp("client"))]
+
+        yield from repetitive(guards)
+
+    def client():
+        yield out("server", 1)
+        yield out("server", 2)
+
+    with pytest.raises(DeadlockError):
+        parallel({"server": server(), "client": client()})
+
+
+def test_server_with_dtc_terminates_when_clients_exit():
+    def server():
+        received = []
+
+        def guards():
+            return [guard(True, inp("client"), action=received.append)]
+
+        count = yield from repetitive(guards, partners=["client"])
+        return (count, received)
+
+    def client():
+        yield out("server", 1)
+        yield out("server", 2)
+
+    result = parallel({"server": server(), "client": client()})
+    count, received = result.results["server"]
+    assert received == [1, 2]
+    assert count == 2
+
+
+def test_dtc_with_multiple_clients():
+    def server(n_messages):
+        total = []
+
+        def guards():
+            return [guard(True, inp(), action=total.append)]
+
+        yield from repetitive(guards, partners=["c1", "c2", "c3"])
+        return sorted(total)
+
+    def client(name, values):
+        for value in values:
+            yield out("server", value)
+
+    result = parallel({
+        "server": server(4),
+        "c1": client("c1", [1]),
+        "c2": client("c2", [2, 3]),
+        "c3": client("c3", [4]),
+    })
+    assert result.results["server"] == [1, 2, 3, 4]
+
+
+def test_dtc_loop_still_obeys_boolean_guards():
+    """Boolean-guard termination still applies before partner checks."""
+    def server():
+        budget = 2
+        received = []
+
+        def guards():
+            return [guard(budget > len(received), inp("client"),
+                          action=received.append)]
+
+        count = yield from repetitive(guards, partners=["client"])
+        # Drain the remaining send so the client can finish.
+        leftover = yield inp("client")
+        return (count, received, leftover)
+
+    def client():
+        for value in (1, 2, 3):
+            yield out("server", value)
+
+    result = parallel({"server": server(), "client": client()})
+    count, received, leftover = result.results["server"]
+    assert count == 2
+    assert received == [1, 2]
+    assert leftover == 3
+
+
+def test_dtc_partner_that_never_existed_counts_as_terminated():
+    def server():
+        def guards():
+            return [guard(True, inp("phantom"))]
+
+        count = yield from repetitive(guards, partners=["phantom"])
+        return count
+
+    result = parallel({"server": server()})
+    assert result.results["server"] == 0

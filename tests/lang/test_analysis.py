@@ -1,0 +1,158 @@
+"""Tests for the semantic analysis pass."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import analyze, parse_script
+
+
+def check(source):
+    return analyze(parse_script(source))
+
+
+def test_constants_evaluated():
+    info = check("""
+SCRIPT s;
+  CONST k = 3;
+  CONST m = k * 2 + 1;
+  ROLE a (); BEGIN SKIP END a;
+END s;
+""")
+    assert info.constants == {"k": 3, "m": 7}
+
+
+def test_duplicate_constant_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; CONST k = 1; CONST k = 2; "
+              "ROLE a (); BEGIN SKIP END a; END s;")
+
+
+def test_family_bounds_resolved():
+    info = check("""
+SCRIPT s;
+  CONST k = 4;
+  ROLE fam [i:1..k] (); BEGIN SKIP END fam;
+END s;
+""")
+    assert info.family_bounds == {"fam": (1, 4)}
+
+
+def test_empty_family_range_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE fam [i:5..1] (); BEGIN SKIP END fam; END s;")
+
+
+def test_duplicate_role_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE a (); BEGIN SKIP END a; "
+              "ROLE a (); BEGIN SKIP END a; END s;")
+
+
+def test_unknown_role_in_send_rejected():
+    with pytest.raises(SemanticError) as excinfo:
+        check("SCRIPT s; ROLE a (x : item); BEGIN SEND x TO ghost END a; "
+              "END s;")
+    assert "ghost" in str(excinfo.value)
+
+
+def test_family_reference_requires_index():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE a (x : item); BEGIN SEND x TO fam END a; "
+              "ROLE fam [i:1..2] (); BEGIN SKIP END fam; END s;")
+
+
+def test_singleton_reference_rejects_index():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE a (x : item); BEGIN SEND x TO b[1] END a; "
+              "ROLE b (); BEGIN SKIP END b; END s;")
+
+
+def test_unknown_name_in_expression_rejected():
+    with pytest.raises(SemanticError) as excinfo:
+        check("SCRIPT s; ROLE a (); VAR x : integer; "
+              "BEGIN x := mystery END a; END s;")
+    assert "mystery" in str(excinfo.value)
+
+
+def test_enum_members_are_known_names():
+    info = check("""
+SCRIPT s;
+  ROLE a (request : (lock, release); VAR status : (granted, denied));
+  BEGIN
+    IF request = lock THEN status := granted ELSE status := denied
+  END a;
+END s;
+""")
+    assert {"lock", "release", "granted", "denied"} <= set(info.enum_members)
+
+
+def test_assignment_to_in_parameter_rejected():
+    with pytest.raises(SemanticError) as excinfo:
+        check("SCRIPT s; ROLE a (x : item); BEGIN x := 1 END a; END s;")
+    assert "non-VAR" in str(excinfo.value)
+
+
+def test_assignment_to_var_parameter_allowed():
+    check("SCRIPT s; ROLE a (VAR x : item); BEGIN x := 1 END a; END s;")
+
+
+def test_assignment_to_replicator_variable_rejected():
+    with pytest.raises(SemanticError):
+        check("""
+SCRIPT s;
+  ROLE a ();
+  BEGIN
+    DO [i = 1..3] true -> i := 5 OD
+  END a;
+END s;
+""")
+
+
+def test_replicator_variable_readable_in_arm():
+    check("""
+SCRIPT s;
+  ROLE a ();
+  VAR x : integer;
+  BEGIN
+    DO [i = 1..3] i < x -> x := x - 1 OD
+  END a;
+END s;
+""")
+
+
+def test_index_variable_readable_in_family_body():
+    check("""
+SCRIPT s;
+  ROLE fam [i:1..3] (VAR out : integer);
+  BEGIN out := i END fam;
+END s;
+""")
+
+
+def test_critical_unknown_role_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; CRITICAL: ghost; ROLE a (); BEGIN SKIP END a; "
+              "END s;")
+
+
+def test_critical_index_out_of_range_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; CRITICAL: fam[9]; "
+              "ROLE fam [i:1..3] (); BEGIN SKIP END fam; END s;")
+
+
+def test_param_variable_name_clash_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE a (x : item); VAR x : integer; "
+              "BEGIN SKIP END a; END s;")
+
+
+def test_terminated_on_unknown_role_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE a (); VAR b : boolean; "
+              "BEGIN b := ghost.terminated END a; END s;")
+
+
+def test_non_constant_family_bound_rejected():
+    with pytest.raises(SemanticError):
+        check("SCRIPT s; ROLE fam [i:1..n] (); BEGIN SKIP END fam; END s;")

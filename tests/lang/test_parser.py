@@ -1,0 +1,268 @@
+"""Tests for the script-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse_script
+from repro.lang import ast_nodes as ast
+
+MINIMAL = """
+SCRIPT s;
+  ROLE a ();
+  BEGIN SKIP END a;
+END s;
+"""
+
+
+def test_minimal_script():
+    program = parse_script(MINIMAL)
+    assert program.name == "s"
+    assert program.initiation == "DELAYED"
+    assert program.termination == "DELAYED"
+    assert len(program.roles) == 1
+    assert program.roles[0].name == "a"
+
+
+def test_policy_headers():
+    program = parse_script("""
+SCRIPT s;
+  INITIATION: IMMEDIATE;
+  TERMINATION: IMMEDIATE;
+  ROLE a (); BEGIN SKIP END a;
+END s;
+""")
+    assert program.initiation == "IMMEDIATE"
+    assert program.termination == "IMMEDIATE"
+
+
+def test_bad_policy_word():
+    with pytest.raises(ParseError):
+        parse_script("SCRIPT s; INITIATION: SOON; ROLE a (); "
+                     "BEGIN SKIP END a; END s;")
+
+
+def test_const_and_critical_headers():
+    program = parse_script("""
+SCRIPT s;
+  CONST k = 3;
+  CRITICAL: a;
+  CRITICAL: a, fam[2];
+  ROLE a (); BEGIN SKIP END a;
+  ROLE fam [i:1..k] (); BEGIN SKIP END fam;
+END s;
+""")
+    assert program.constants[0][0] == "k"
+    assert len(program.critical_sets) == 2
+    second = program.critical_sets[1]
+    assert second[0].name == "a"
+    assert second[1].name == "fam"
+    assert isinstance(second[1].index, ast.Num)
+
+
+def test_role_family_header():
+    program = parse_script("""
+SCRIPT s;
+  ROLE r [i:1..5] (VAR data : item);
+  BEGIN SKIP END r;
+END s;
+""")
+    role = program.roles[0]
+    assert role.is_family
+    assert role.index_var == "i"
+    assert role.params[0].is_var
+
+
+def test_param_groups_and_enum_types():
+    program = parse_script("""
+SCRIPT s;
+  ROLE r (id : process_id; a, b : integer; request : (lock, release));
+  BEGIN SKIP END r;
+END s;
+""")
+    params = program.roles[0].params
+    assert [p.name for p in params] == ["id", "a", "b", "request"]
+    assert isinstance(params[3].type, ast.EnumType)
+    assert params[3].type.members == ("lock", "release")
+
+
+def test_var_declarations_with_types():
+    program = parse_script("""
+SCRIPT s;
+  ROLE r ();
+  VAR
+    done : ARRAY [1..3] OF boolean;
+    who : SET OF [1..3];
+    x, y : integer;
+  BEGIN SKIP END r;
+END s;
+""")
+    variables = program.roles[0].variables
+    assert [v.name for v in variables] == ["done", "who", "x", "y"]
+    assert isinstance(variables[0].type, ast.ArrayType)
+    assert isinstance(variables[1].type, ast.SetType)
+
+
+def test_send_receive_statements():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a (data : item);
+  BEGIN
+    SEND data TO b;
+    SEND lock(data, 1) TO fam[2]
+  END a;
+  ROLE b (VAR data : item);
+  BEGIN RECEIVE data FROM a END b;
+  ROLE fam [i:1..3] (); BEGIN SKIP END fam;
+END s;
+""")
+    body = program.roles[0].body
+    assert isinstance(body[0], ast.SendStmt)
+    assert body[0].target.name == "b"
+    assert isinstance(body[1].value, ast.Call)
+    assert body[1].target.index is not None
+    receive = program.roles[1].body[0]
+    assert isinstance(receive, ast.ReceiveStmt)
+
+
+def test_if_with_nested_else_binding():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR x : integer; y : integer;
+  BEGIN
+    IF x = 1 THEN
+      IF y = 2 THEN y := 3 ELSE y := 4
+    ELSE
+      y := 5
+  END a;
+END s;
+""")
+    outer = program.roles[0].body[0]
+    assert isinstance(outer, ast.IfStmt)
+    inner = outer.then_body[0]
+    assert isinstance(inner, ast.IfStmt)
+    assert inner.else_body is not None
+    assert outer.else_body is not None
+
+
+def test_guarded_do_with_replicator_and_arms():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR done : ARRAY [1..3] OF boolean; v : item;
+  BEGIN
+    DO [i = 1..3]
+      NOT done[i]; SEND v TO fam[i] ->
+        done[i] := true
+    []
+      false ->
+        SKIP
+    OD
+  END a;
+  ROLE fam [i:1..3] (); BEGIN SKIP END fam;
+END s;
+""")
+    loop = program.roles[0].body[0]
+    assert isinstance(loop, ast.GuardedDo)
+    assert loop.replicator[0] == "i"
+    assert len(loop.arms) == 2
+    assert isinstance(loop.arms[0].comm, ast.SendStmt)
+    assert loop.arms[1].comm is None
+
+
+def test_guard_arm_with_bare_comm():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR v : item;
+  BEGIN
+    DO RECEIVE v FROM b -> SKIP OD
+  END a;
+  ROLE b (); BEGIN SKIP END b;
+END s;
+""")
+    arm = program.roles[0].body[0].arms[0]
+    assert arm.condition is None
+    assert isinstance(arm.comm, ast.ReceiveStmt)
+
+
+def test_terminated_postfix():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR x : boolean;
+  BEGIN
+    x := b.terminated;
+    x := fam[2].terminated
+  END a;
+  ROLE b (); BEGIN SKIP END b;
+  ROLE fam [i:1..3] (); BEGIN SKIP END fam;
+END s;
+""")
+    body = program.roles[0].body
+    assert isinstance(body[0].value, ast.Terminated)
+    assert body[0].value.role.name == "b"
+    assert body[1].value.role.index is not None
+
+
+def test_set_literals_and_operators():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR who : SET OF [1..3]; ok : boolean;
+  BEGIN
+    who := [ ];
+    who := who + [1];
+    who := who - [1, 2];
+    ok := 1 IN who;
+    ok := who = [ ];
+    ok := who <> [ ]
+  END a;
+END s;
+""")
+    body = program.roles[0].body
+    assert isinstance(body[0].value, ast.SetLit)
+    assert body[0].value.elements == ()
+    assert isinstance(body[1].value, ast.Binary)
+    assert body[3].value.op == "IN"
+
+
+def test_mismatched_end_name_rejected():
+    with pytest.raises(ParseError):
+        parse_script("SCRIPT s; ROLE a (); BEGIN SKIP END a; END wrong;")
+
+
+def test_mismatched_role_end_name_rejected():
+    with pytest.raises(ParseError):
+        parse_script("SCRIPT s; ROLE a (); BEGIN SKIP END b; END s;")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_script(MINIMAL + "extra")
+
+
+def test_error_reports_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_script("SCRIPT s;\nROLE ;\nEND s;")
+    assert excinfo.value.line == 2
+
+
+def test_operator_precedence():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR x : boolean; n : integer;
+  BEGIN
+    x := n + 1 * 2 = 3 AND NOT x OR x
+  END a;
+END s;
+""")
+    expr = program.roles[0].body[0].value
+    # Top level is OR.
+    assert isinstance(expr, ast.Binary) and expr.op == "OR"
+    assert expr.left.op == "AND"
+    comparison = expr.left.left
+    assert comparison.op == "="
+    assert comparison.left.op == "+"
+    assert comparison.left.right.op == "*"

@@ -1,0 +1,141 @@
+"""Tests for the pretty-printer, including parse/print round-trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import format_expr, format_program, parse_script
+from repro.lang import ast_nodes as ast
+from repro.lang.figures import (FIGURE3_STAR_BROADCAST,
+                                FIGURE4_PIPELINE_BROADCAST, FIGURE5_DATABASE)
+
+
+def strip_positions(node):
+    """Recursively zero out line/column info for structural comparison."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        updates = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if field.name in ("line", "column"):
+                updates[field.name] = 0
+            else:
+                updates[field.name] = strip_positions(value)
+        return dataclasses.replace(node, **updates)
+    if isinstance(node, tuple):
+        return tuple(strip_positions(item) for item in node)
+    if isinstance(node, list):
+        return [strip_positions(item) for item in node]
+    return node
+
+
+@pytest.mark.parametrize("source", [
+    FIGURE3_STAR_BROADCAST, FIGURE4_PIPELINE_BROADCAST, FIGURE5_DATABASE])
+def test_figures_roundtrip(source):
+    program = parse_script(source)
+    printed = format_program(program)
+    reparsed = parse_script(printed)
+    assert strip_positions(program) == strip_positions(reparsed)
+
+
+def test_printed_figure_still_compiles_and_runs():
+    from repro.lang import compile_script
+    from repro.runtime import Scheduler
+
+    printed = format_program(parse_script(FIGURE3_STAR_BROADCAST))
+    script = compile_script(printed)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+
+    def listener(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, 6):
+        scheduler.spawn(f"R{i}", listener(i))
+    result = scheduler.run()
+    assert all(result.results[f"R{i}"] == "v" for i in range(1, 6))
+
+
+def test_expression_precedence_no_spurious_parens():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR x : boolean; n : integer;
+  BEGIN
+    x := n + 1 * 2 = 3 AND NOT x OR x
+  END a;
+END s;
+""")
+    text = format_expr(program.roles[0].body[0].value)
+    assert text == "n + 1 * 2 = 3 AND NOT x OR x"
+
+
+def test_expression_parens_preserved_where_needed():
+    program = parse_script("""
+SCRIPT s;
+  ROLE a ();
+  VAR n : integer;
+  BEGIN
+    n := (n + 1) * 2
+  END a;
+END s;
+""")
+    text = format_expr(program.roles[0].body[0].value)
+    assert text == "(n + 1) * 2"
+
+
+def test_string_quotes_escaped():
+    expr = ast.Str("it's")
+    assert format_expr(expr) == "'it''s'"
+
+
+def test_empty_set_display():
+    assert format_expr(ast.SetLit(())) == "[ ]"
+
+
+# ---------------------------------------------------------------------------
+# Property: generated expressions round-trip through print + parse.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        return draw(st.one_of(
+            st.integers(0, 99).map(lambda v: ast.Num(v)),
+            st.sampled_from(["x", "n", "flag"]).map(lambda s: ast.Name(s)),
+            st.booleans().map(lambda b: ast.Bool(b)),
+        ))
+    return draw(st.one_of(
+        expressions(depth=3),
+        st.tuples(st.sampled_from(["+", "-", "*", "=", "<", "AND", "OR"]),
+                  expressions(depth=depth + 1),
+                  expressions(depth=depth + 1)).map(
+                      lambda t: ast.Binary(t[0], t[1], t[2])),
+        expressions(depth=depth + 1).map(lambda e: ast.Unary("NOT", e)),
+        st.lists(expressions(depth=3), max_size=3).map(
+            lambda es: ast.SetLit(tuple(es))),
+    ))
+
+
+@given(expr=expressions())
+@settings(max_examples=200, deadline=None)
+def test_random_expressions_roundtrip(expr):
+    printed = format_expr(expr)
+    source = f"""
+SCRIPT s;
+  ROLE a ();
+  VAR x : boolean; n : integer; flag : boolean; out : item;
+  BEGIN
+    out := {printed}
+  END a;
+END s;
+"""
+    reparsed = parse_script(source).roles[0].body[0].value
+    assert strip_positions(reparsed) == strip_positions(expr)

@@ -1,0 +1,155 @@
+"""Property-based tests for the script-language front end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LexError, ParseError, SemanticError
+from repro.lang import analyze, parse_script, tokenize
+from repro.lang.tokens import TokenType
+
+identifiers = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+
+@given(words=st.lists(identifiers, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_lexer_roundtrips_identifier_streams(words):
+    source = " ".join(words)
+    tokens = tokenize(source)
+    assert tokens[-1].type is TokenType.EOF
+    lexed = [t.value for t in tokens[:-1]]
+    # Keywords are upper-cased; everything else is preserved verbatim.
+    expected = [w.upper() if tokenize(w)[0].type is TokenType.KEYWORD else w
+                for w in words]
+    assert lexed == expected
+
+
+@given(numbers=st.lists(st.integers(0, 10**9), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_lexer_preserves_numbers(numbers):
+    source = " ".join(str(n) for n in numbers)
+    tokens = tokenize(source)[:-1]
+    assert [int(t.value) for t in tokens] == numbers
+
+
+@given(text=st.text(
+    alphabet=st.characters(blacklist_characters="'{", max_codepoint=0x7f),
+    max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_lexer_never_crashes_with_non_lex_errors(text):
+    """Arbitrary input either tokenises or raises LexError — nothing else."""
+    try:
+        tokenize(text)
+    except LexError:
+        pass
+
+
+@st.composite
+def const_expressions(draw, depth=0):
+    """Random compile-time integer expressions with their Python values."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(0, 50))
+        return str(value), value
+    left_src, left_val = draw(const_expressions(depth=depth + 1))
+    right_src, right_val = draw(const_expressions(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    value = {"+": left_val + right_val,
+             "-": left_val - right_val,
+             "*": left_val * right_val}[op]
+    return f"({left_src} {op} {right_src})", value
+
+
+@given(expr=const_expressions())
+@settings(max_examples=150, deadline=None)
+def test_const_evaluation_matches_python(expr):
+    source_expr, expected = expr
+    program = parse_script(f"""
+SCRIPT s;
+  CONST c = {source_expr};
+  ROLE a (); BEGIN SKIP END a;
+END s;
+""")
+    info = analyze(program)
+    assert info.constants["c"] == expected
+
+
+@given(name=identifiers)
+@settings(max_examples=100, deadline=None)
+def test_parse_minimal_script_with_any_role_name(name):
+    try:
+        program = parse_script(f"""
+SCRIPT s;
+  ROLE {name} (); BEGIN SKIP END {name};
+END s;
+""")
+    except ParseError:
+        # The generated identifier happened to be a keyword (END, VAR...).
+        assert tokenize(name)[0].type is TokenType.KEYWORD
+        return
+    assert program.roles[0].name == name
+
+
+@given(n=st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_family_sizes_compile_and_run(n):
+    """Star broadcast of any size written in the surface syntax works."""
+    from repro.lang import compile_script
+    from repro.runtime import Scheduler
+
+    sends = ";\n    ".join(
+        f"SEND data TO recipient[{i}]" for i in range(1, n + 1))
+    source = f"""
+SCRIPT s;
+  CONST n = {n};
+  ROLE sender (data : item);
+  BEGIN
+    {sends}
+  END sender;
+  ROLE recipient [i:1..n] (VAR data : item);
+  BEGIN
+    RECEIVE data FROM sender
+  END recipient;
+END s;
+"""
+    script = compile_script(source)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="v")
+
+    def listener(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), listener(i))
+    result = scheduler.run()
+    assert all(result.results[("R", i)] == "v" for i in range(1, n + 1))
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_figure5_reader_safe_under_any_seed(seed):
+    """The Figure 5 source grants a lone reader under every schedule."""
+    from repro.lang import compile_script
+    from repro.lang.figures import FIGURE5_DATABASE
+    from repro.runtime import Scheduler
+
+    script = compile_script(FIGURE5_DATABASE)
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def manager(i):
+        yield from instance.enroll(("manager", i))
+
+    def reader_client():
+        out = yield from instance.enroll("reader", id="r", data="x",
+                                         request="lock")
+        return out["status"]
+
+    for i in range(1, 4):
+        scheduler.spawn(f"M{i}", manager(i))
+    scheduler.spawn("RC", reader_client())
+    result = scheduler.run()
+    assert result.results["RC"] == "granted"

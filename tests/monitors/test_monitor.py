@@ -1,0 +1,211 @@
+"""Tests for monitors, WAIT UNTIL, and the Figure 12 mailboxes."""
+
+import pytest
+
+from repro.errors import MonitorError, ProcessFailure
+from repro.monitors import (BoundedMailbox, Mailbox, Monitor,
+                            SharedMailboxBank, procedure)
+from repro.runtime import Delay, run_processes
+
+
+class Counter(Monitor):
+    """A monitor whose critical section spans virtual time."""
+
+    def __init__(self):
+        super().__init__("counter")
+        self.value = 0
+        self.max_concurrent = 0
+        self._inside = 0
+
+    @procedure
+    def bump(self, work_time):
+        self._inside += 1
+        self.max_concurrent = max(self.max_concurrent, self._inside)
+        yield Delay(work_time)
+        self.value += 1
+        self._inside -= 1
+        return self.value
+
+
+def test_monitor_enforces_mutual_exclusion_across_delays():
+    counter = Counter()
+
+    def worker():
+        result = yield from counter.bump(5)
+        return result
+
+    result = run_processes({f"w{i}": worker() for i in range(4)})
+    assert counter.value == 4
+    assert counter.max_concurrent == 1
+    # Four critical sections of 5 time units serialize: total 20.
+    assert result.time == 20
+
+
+def test_monitor_released_after_exception():
+    class Flaky(Monitor):
+        @procedure
+        def explode(self):
+            yield Delay(1)
+            raise RuntimeError("bang")
+
+    flaky = Flaky()
+
+    def bad():
+        yield from flaky.explode()
+
+    with pytest.raises(ProcessFailure):
+        run_processes({"bad": bad()})
+    assert not flaky.locked
+
+
+def test_wait_until_outside_procedure_rejected():
+    monitor = Monitor("bare")
+
+    def misuse():
+        yield from monitor.wait_until(lambda: True)
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        run_processes({"m": misuse()})
+    assert isinstance(excinfo.value.original, MonitorError)
+
+
+def test_mailbox_put_then_get():
+    box = Mailbox()
+
+    def producer():
+        yield from box.put("letter")
+
+    def consumer():
+        item = yield from box.get()
+        return item
+
+    result = run_processes({"producer": producer(), "consumer": consumer()})
+    assert result.results["consumer"] == "letter"
+    assert box.status == "empty"
+
+
+def test_mailbox_get_blocks_until_put():
+    box = Mailbox()
+    order = []
+
+    def consumer():
+        order.append("consumer-asks")
+        item = yield from box.get()
+        order.append(f"consumer-got-{item}")
+
+    def producer():
+        yield Delay(5)
+        order.append("producer-puts")
+        yield from box.put("x")
+
+    run_processes({"consumer": consumer(), "producer": producer()})
+    assert order == ["consumer-asks", "producer-puts", "consumer-got-x"]
+
+
+def test_mailbox_put_blocks_while_full():
+    box = Mailbox()
+
+    def producer():
+        yield from box.put(1)
+        yield from box.put(2)  # blocks until the consumer drains
+        return "produced-both"
+
+    def consumer():
+        yield Delay(10)
+        first = yield from box.get()
+        second = yield from box.get()
+        return (first, second)
+
+    result = run_processes({"producer": producer(), "consumer": consumer()})
+    assert result.results["consumer"] == (1, 2)
+    assert result.results["producer"] == "produced-both"
+
+
+def test_bounded_mailbox_fifo_and_capacity():
+    box = BoundedMailbox(capacity=2)
+
+    def producer():
+        for i in range(5):
+            yield from box.put(i)
+
+    def consumer():
+        got = []
+        for _ in range(5):
+            got.append((yield from box.get()))
+        return got
+
+    result = run_processes({"producer": producer(), "consumer": consumer()})
+    assert result.results["consumer"] == [0, 1, 2, 3, 4]
+
+
+def test_bounded_mailbox_requires_positive_capacity():
+    with pytest.raises(MonitorError):
+        BoundedMailbox(capacity=0)
+
+
+def test_shared_bank_serializes_all_boxes():
+    """The paper's rejected single-monitor design: puts to *different*
+    mailboxes still serialize."""
+    bank = SharedMailboxBank(count=3)
+    # Each put takes 5 units of simulated work inside the monitor.
+    original_put = SharedMailboxBank.put
+
+    class SlowBank(SharedMailboxBank):
+        @procedure
+        def put(self, index, item):
+            yield Delay(5)
+            self._check_index(index)
+            yield from self.wait_until(lambda: self._status[index] == "empty")
+            self._contents[index] = item
+            self._status[index] = "full"
+
+    slow = SlowBank(count=3)
+
+    def producer(i):
+        yield from slow.put(i, f"item-{i}")
+
+    def consumer(i):
+        item = yield from slow.get(i)
+        return item
+
+    procs = {}
+    for i in range(3):
+        procs[f"p{i}"] = producer(i)
+        procs[f"c{i}"] = consumer(i)
+    result = run_processes(procs)
+    # Three 5-unit puts through one monitor serialize: at least 15 units.
+    assert result.time >= 15
+    assert [result.results[f"c{i}"] for i in range(3)] == [
+        "item-0", "item-1", "item-2"]
+
+
+def test_separate_mailboxes_allow_concurrency():
+    """The script solution: one monitor per mailbox, so timed work overlaps."""
+    boxes = [Mailbox(f"box{i}") for i in range(3)]
+
+    def producer(i):
+        yield Delay(5)  # simulated work *outside* any monitor
+        yield from boxes[i].put(f"item-{i}")
+
+    def consumer(i):
+        item = yield from boxes[i].get()
+        return item
+
+    procs = {}
+    for i in range(3):
+        procs[f"p{i}"] = producer(i)
+        procs[f"c{i}"] = consumer(i)
+    result = run_processes(procs)
+    # All three producers overlap their work: total time stays 5.
+    assert result.time == 5
+
+
+def test_shared_bank_index_out_of_range():
+    bank = SharedMailboxBank(count=2)
+
+    def bad():
+        yield from bank.put(5, "x")
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        run_processes({"bad": bad()})
+    assert isinstance(excinfo.value.original, MonitorError)

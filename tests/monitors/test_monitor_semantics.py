@@ -1,0 +1,131 @@
+"""Deeper monitor-semantics tests: reentrance, fairness, queue shapes."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.monitors import BoundedMailbox, Monitor, procedure
+from repro.runtime import Delay, GetTime, Scheduler, run_processes
+
+
+class Reentrant(Monitor):
+    """A monitor whose procedure (incorrectly) calls another procedure."""
+
+    @procedure
+    def outer(self):
+        yield from self.inner()   # acquires the already-held lock
+
+    @procedure
+    def inner(self):
+        yield from ()
+        return "inner"
+
+
+def test_monitor_locks_are_not_reentrant():
+    """Calling a procedure from within a procedure self-deadlocks — and the
+    kernel reports it rather than silently allowing the reentry (classic
+    non-reentrant monitor semantics)."""
+    monitor = Reentrant()
+
+    def caller():
+        yield from monitor.outer()
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_processes({"caller": caller()})
+    assert "monitor" in str(excinfo.value)
+
+
+class Helpered(Monitor):
+    """The correct pattern: shared logic in a plain (non-procedure) helper."""
+
+    def __init__(self):
+        super().__init__("helpered")
+        self.calls = 0
+
+    def _bump(self):
+        self.calls += 1
+        yield from ()
+        return self.calls
+
+    @procedure
+    def once(self):
+        result = yield from self._bump()
+        return result
+
+    @procedure
+    def twice(self):
+        yield from self._bump()
+        result = yield from self._bump()
+        return result
+
+
+def test_plain_helper_methods_share_the_held_lock():
+    monitor = Helpered()
+
+    def caller():
+        first = yield from monitor.once()
+        second = yield from monitor.twice()
+        return (first, second)
+
+    result = run_processes({"caller": caller()})
+    assert result.results["caller"] == (1, 3)
+
+
+def test_waiters_all_eventually_served():
+    """No waiter starves: with repeated put/get cycles, every consumer
+    gets exactly one item."""
+    box = BoundedMailbox(capacity=1)
+    consumers = 5
+
+    def producer():
+        for i in range(consumers):
+            yield from box.put(i)
+
+    def consumer(name):
+        item = yield from box.get()
+        return item
+
+    processes = {"producer": producer()}
+    for i in range(consumers):
+        processes[("c", i)] = consumer(i)
+    result = run_processes(processes)
+    delivered = sorted(result.results[("c", i)] for i in range(consumers))
+    assert delivered == list(range(consumers))
+
+
+def test_monitor_entry_counter_tracks_activations():
+    monitor = Helpered()
+
+    def caller():
+        yield from monitor.once()
+        yield from monitor.twice()
+
+    run_processes({"caller": caller()})
+    assert monitor._entries == 2
+
+
+def test_critical_sections_serialize_in_virtual_time():
+    """Three processes contending for one monitor with timed bodies get
+    strictly disjoint occupancy windows."""
+    windows = []
+
+    class Timed(Monitor):
+        @procedure
+        def work(self, name):
+            start = yield GetTime()
+            yield Delay(4)
+            end = yield GetTime()
+            windows.append((name, start, end))
+
+    monitor = Timed()
+
+    def worker(name, arrival):
+        yield Delay(arrival)
+        yield from monitor.work(name)
+
+    run_processes({
+        "a": worker("a", 0),
+        "b": worker("b", 1),
+        "c": worker("c", 2)})
+    windows.sort(key=lambda w: w[1])
+    for (_, _, first_end), (_, second_start, _) in zip(windows, windows[1:]):
+        assert second_start >= first_end

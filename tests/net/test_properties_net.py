@@ -1,0 +1,104 @@
+"""Property-based tests for topologies (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Topology, binary_tree, complete, line, ring, star
+
+
+@st.composite
+def random_topologies(draw):
+    """Connected random graphs with positive latencies."""
+    node_count = draw(st.integers(2, 8))
+    topology = Topology("random")
+    # A spanning chain guarantees connectivity...
+    for i in range(1, node_count):
+        latency = draw(st.floats(0.1, 10, allow_nan=False))
+        topology.add_link(("n", i - 1), ("n", i), latency)
+    # ... plus random extra links.
+    extras = draw(st.lists(
+        st.tuples(st.integers(0, node_count - 1),
+                  st.integers(0, node_count - 1),
+                  st.floats(0.1, 10, allow_nan=False)),
+        max_size=10))
+    for a, b, latency in extras:
+        if a != b:
+            topology.add_link(("n", a), ("n", b), latency)
+    return topology
+
+
+@given(topology=random_topologies())
+@settings(max_examples=100, deadline=None)
+def test_latency_is_symmetric(topology):
+    nodes = topology.nodes
+    for a in nodes:
+        for b in nodes:
+            # Equal up to float summation order along the reversed path.
+            assert abs(topology.latency(a, b)
+                       - topology.latency(b, a)) < 1e-9
+
+
+@given(topology=random_topologies())
+@settings(max_examples=100, deadline=None)
+def test_triangle_inequality(topology):
+    nodes = topology.nodes
+    for a in nodes:
+        for b in nodes:
+            for c in nodes:
+                direct = topology.latency(a, c)
+                via = topology.latency(a, b) + topology.latency(b, c)
+                assert direct <= via + 1e-9
+
+
+@given(topology=random_topologies())
+@settings(max_examples=100, deadline=None)
+def test_shortest_path_never_exceeds_direct_link(topology):
+    for node in topology.nodes:
+        for peer, weight in topology.neighbours(node).items():
+            assert topology.latency(node, peer) <= weight
+
+
+@given(n=st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_star_diameter_is_two_hops(n):
+    topology = star(n, latency=1.0)
+    leaves = [("leaf", i) for i in range(1, n + 1)]
+    for a in leaves:
+        for b in leaves:
+            expected = 0.0 if a == b else 2.0
+            assert topology.latency(a, b) == expected
+
+
+@given(n=st.integers(2, 30))
+@settings(max_examples=40, deadline=None)
+def test_line_diameter(n):
+    topology = line(n)
+    assert topology.latency(("n", 0), ("n", n - 1)) == n - 1
+
+
+@given(n=st.integers(3, 20))
+@settings(max_examples=40, deadline=None)
+def test_ring_takes_shorter_arc(n):
+    topology = ring(n)
+    for k in range(n):
+        expected = min(k, n - k)
+        assert topology.latency(("n", 0), ("n", k)) == expected
+
+
+@given(n=st.integers(1, 31))
+@settings(max_examples=40, deadline=None)
+def test_tree_depth_bound(n):
+    topology = binary_tree(n)
+    depth = max(topology.latency(("n", 1), ("n", i))
+                for i in range(1, n + 1))
+    assert depth <= max(0, (n).bit_length() - 1)
+
+
+@given(n=st.integers(2, 10))
+@settings(max_examples=30, deadline=None)
+def test_complete_graph_is_all_direct(n):
+    topology = complete(n)
+    for i in range(n):
+        for j in range(n):
+            expected = 0.0 if i == j else 1.0
+            assert topology.latency(("n", i), ("n", j)) == expected

@@ -1,0 +1,162 @@
+"""Tests for topologies and the network transport."""
+
+import pytest
+
+from repro.net import (NetworkTransport, Topology, TopologyError, binary_tree,
+                       complete, line, ring, star)
+from repro.runtime import Receive, Scheduler, Send
+
+
+class TestTopology:
+    def test_direct_link_latency(self):
+        topology = Topology()
+        topology.add_link("a", "b", 2.5)
+        assert topology.latency("a", "b") == 2.5
+        assert topology.latency("b", "a") == 2.5
+
+    def test_shortest_path_over_hops(self):
+        topology = line(4, latency=1.0)
+        assert topology.latency(("n", 0), ("n", 3)) == 3.0
+
+    def test_shortest_path_prefers_cheap_detour(self):
+        topology = Topology()
+        topology.add_link("a", "b", 10.0)
+        topology.add_link("a", "c", 1.0)
+        topology.add_link("c", "b", 1.0)
+        assert topology.latency("a", "b") == 2.0
+
+    def test_self_latency_zero(self):
+        topology = line(2)
+        assert topology.latency(("n", 0), ("n", 0)) == 0.0
+
+    def test_unknown_node_rejected(self):
+        topology = line(2)
+        with pytest.raises(TopologyError):
+            topology.latency(("n", 0), "ghost")
+
+    def test_disconnected_pair_rejected(self):
+        topology = Topology()
+        topology.add_node("a")
+        topology.add_node("b")
+        with pytest.raises(TopologyError):
+            topology.latency("a", "b")
+
+    def test_self_link_rejected(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "a")
+
+    def test_negative_latency_rejected(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "b", -1)
+
+    def test_cache_invalidated_on_new_link(self):
+        topology = Topology()
+        topology.add_link("a", "b", 10.0)
+        assert topology.latency("a", "b") == 10.0
+        topology.add_link("a", "c", 1.0)
+        topology.add_link("c", "b", 1.0)
+        assert topology.latency("a", "b") == 2.0
+
+    def test_star_shape(self):
+        topology = star(4, latency=2.0)
+        assert topology.latency("hub", ("leaf", 3)) == 2.0
+        assert topology.latency(("leaf", 1), ("leaf", 4)) == 4.0
+        assert topology.link_count() == 4
+
+    def test_binary_tree_shape(self):
+        topology = binary_tree(7)
+        assert topology.latency(("n", 1), ("n", 7)) == 2.0
+        assert topology.latency(("n", 4), ("n", 7)) == 4.0
+
+    def test_complete_shape(self):
+        topology = complete(5)
+        assert topology.link_count() == 10
+        assert topology.latency(("n", 0), ("n", 4)) == 1.0
+
+    def test_ring_shape(self):
+        topology = ring(6)
+        assert topology.latency(("n", 0), ("n", 3)) == 3.0
+        assert topology.latency(("n", 0), ("n", 5)) == 1.0
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+
+class TestNetworkTransport:
+    def test_rendezvous_charged_path_latency(self):
+        topology = line(3, latency=5.0)
+        transport = NetworkTransport(topology, {
+            "sender": ("n", 0), "receiver": ("n", 2)})
+
+        def sender():
+            yield Send("receiver", "x")
+
+        def receiver():
+            value = yield Receive()
+            return value
+
+        scheduler = Scheduler(transport=transport)
+        scheduler.spawn("sender", sender())
+        scheduler.spawn("receiver", receiver())
+        result = scheduler.run()
+        assert result.results["receiver"] == "x"
+        assert result.time == 10.0
+        assert transport.stats.messages == 1
+        assert transport.stats.total_latency == 10.0
+
+    def test_local_rendezvous_is_free_and_counted(self):
+        topology = star(2)
+        transport = NetworkTransport(topology, {
+            "a": ("leaf", 1), "b": ("leaf", 1)})
+
+        def a():
+            yield Send("b", 1)
+
+        def b():
+            yield Receive()
+
+        scheduler = Scheduler(transport=transport)
+        scheduler.spawn("a", a())
+        scheduler.spawn("b", b())
+        result = scheduler.run()
+        assert result.time == 0.0
+        assert transport.stats.local_messages == 1
+        assert transport.stats.remote_messages == 0
+
+    def test_missing_placement_uses_default(self):
+        topology = star(1)
+        transport = NetworkTransport(topology, {}, default_node="hub")
+        assert transport.node_of("anybody") == "hub"
+
+    def test_missing_placement_without_default_is_error(self):
+        topology = star(1)
+        transport = NetworkTransport(topology, {})
+        with pytest.raises(TopologyError):
+            transport.node_of("anybody")
+
+    def test_stats_track_pairs_and_max(self):
+        topology = line(3, latency=2.0)
+        transport = NetworkTransport(topology, {
+            "a": ("n", 0), "b": ("n", 1), "c": ("n", 2)})
+
+        def a():
+            yield Send("b", 1)
+            yield Send("c", 2)
+
+        def b():
+            yield Receive("a")
+
+        def c():
+            yield Receive("a")
+
+        scheduler = Scheduler(transport=transport)
+        for name, body in (("a", a()), ("b", b()), ("c", c())):
+            scheduler.spawn(name, body)
+        scheduler.run()
+        assert transport.stats.messages == 2
+        assert transport.stats.max_latency == 4.0
+        assert transport.stats.per_pair[(("n", 0), ("n", 1))] == 1
+        assert transport.stats.per_pair[(("n", 0), ("n", 2))] == 1

@@ -1,0 +1,174 @@
+"""Direct unit tests for the rendezvous board."""
+
+import pytest
+
+from repro.runtime.board import (Commit, RendezvousBoard, else_result,
+                                 make_group, resume_values)
+from repro.runtime.effects import ELSE_BRANCH, Receive, ReceivedMessage, Send
+from repro.runtime.process import Process
+
+
+def proc(name):
+    def body():
+        yield  # pragma: no cover - never driven in these tests
+    return Process(name, body())
+
+
+def owners(*processes):
+    table = {}
+    for process in processes:
+        for alias in process.aliases:
+            table[alias] = process
+    return table
+
+
+class TestMakeGroup:
+    def test_plain_send(self):
+        p = proc("p")
+        group = make_group(p, [Send("q", 7, tag="t")], plain=True)
+        assert len(group.offers) == 1
+        offer = group.offers[0]
+        assert offer.is_send and offer.partner_alias == "q"
+        assert offer.value == 7 and offer.tag == "t"
+
+    def test_plain_receive_unnamed(self):
+        p = proc("p")
+        group = make_group(p, [Receive()], plain=True)
+        assert not group.offers[0].is_send
+        assert group.offers[0].partner_alias is None
+
+    def test_sender_alias_override(self):
+        p = proc("p")
+        group = make_group(p, [Send("q", 1)], plain=True,
+                           sender_alias="role-x")
+        assert group.offers[0].as_alias == "role-x"
+
+    def test_explicit_as_alias_wins(self):
+        p = proc("p")
+        group = make_group(p, [Send("q", 1, as_alias="explicit")],
+                           plain=True, sender_alias="fallback")
+        assert group.offers[0].as_alias == "explicit"
+
+    def test_invalid_branch_rejected(self):
+        with pytest.raises(TypeError):
+            make_group(proc("p"), [object()], plain=False)
+
+    def test_describe_mentions_directions(self):
+        p = proc("p")
+        group = make_group(p, [Send("q", 1), Receive("r"), Receive()],
+                           plain=False)
+        text = group.describe()
+        assert "send to 'q'" in text
+        assert "receive from 'r'" in text
+        assert "receive from anyone" in text
+
+
+class TestMatching:
+    def test_basic_match(self):
+        board = RendezvousBoard()
+        sender, receiver = proc("s"), proc("r")
+        board.post(make_group(sender, [Send("r", 1)], plain=True))
+        board.post(make_group(receiver, [Receive("s")], plain=True))
+        candidates = board.candidates(owners(sender, receiver))
+        assert len(candidates) == 1
+        assert candidates[0].sender is sender
+        assert candidates[0].receiver is receiver
+
+    def test_no_match_without_owner(self):
+        board = RendezvousBoard()
+        sender = proc("s")
+        board.post(make_group(sender, [Send("ghost", 1)], plain=True))
+        assert board.candidates(owners(sender)) == []
+
+    def test_tag_mismatch(self):
+        board = RendezvousBoard()
+        sender, receiver = proc("s"), proc("r")
+        board.post(make_group(sender, [Send("r", 1, tag="a")], plain=True))
+        board.post(make_group(receiver, [Receive(tag="b")], plain=True))
+        assert board.candidates(owners(sender, receiver)) == []
+
+    def test_named_receive_filters(self):
+        board = RendezvousBoard()
+        sender, receiver = proc("s"), proc("r")
+        board.post(make_group(sender, [Send("r", 1)], plain=True))
+        board.post(make_group(receiver, [Receive("other")], plain=True))
+        assert board.candidates(owners(sender, receiver)) == []
+
+    def test_self_match_rejected(self):
+        board = RendezvousBoard()
+        p = proc("p")
+        board.post(make_group(
+            p, [Send("p", 1), Receive("p")], plain=False))
+        assert board.candidates(owners(p)) == []
+
+    def test_alias_based_match(self):
+        board = RendezvousBoard()
+        sender, receiver = proc("s"), proc("r")
+        receiver.aliases.add("role-target")
+        board.post(make_group(sender, [Send("role-target", 9)], plain=True))
+        board.post(make_group(receiver, [Receive()], plain=True))
+        candidates = board.candidates(owners(sender, receiver))
+        assert len(candidates) == 1
+
+    def test_remove_parties_clears_both(self):
+        board = RendezvousBoard()
+        sender, receiver = proc("s"), proc("r")
+        board.post(make_group(sender, [Send("r", 1)], plain=True))
+        board.post(make_group(receiver, [Receive()], plain=True))
+        commit = board.candidates(owners(sender, receiver))[0]
+        board.remove_parties(commit)
+        assert len(board) == 0
+
+    def test_double_post_rejected(self):
+        board = RendezvousBoard()
+        p = proc("p")
+        board.post(make_group(p, [Send("q", 1)], plain=True))
+        with pytest.raises(RuntimeError):
+            board.post(make_group(p, [Send("q", 2)], plain=True))
+
+    def test_candidates_for_unposted_group(self):
+        board = RendezvousBoard()
+        receiver = proc("r")
+        board.post(make_group(receiver, [Receive()], plain=True))
+        sender = proc("s")
+        group = make_group(sender, [Send("r", 1)], plain=True)
+        candidates = board.candidates_for(group, owners(sender, receiver))
+        assert len(candidates) == 1
+
+
+class TestResumeValues:
+    def _commit(self, send_branches, recv_branches, plain_send=True,
+                plain_recv=True):
+        sender, receiver = proc("s"), proc("r")
+        send_group = make_group(sender, send_branches, plain=plain_send)
+        recv_group = make_group(receiver, recv_branches, plain=plain_recv)
+        return Commit(send=send_group.offers[0], recv=recv_group.offers[0])
+
+    def test_plain_pair(self):
+        commit = self._commit([Send("r", "v")], [Receive()])
+        sender_result, receiver_result = resume_values(commit)
+        assert sender_result is None
+        assert receiver_result == "v"
+
+    def test_receive_with_sender(self):
+        commit = self._commit([Send("r", "v")],
+                              [Receive(with_sender=True)])
+        _, receiver_result = resume_values(commit)
+        assert receiver_result == ReceivedMessage("v", "s")
+
+    def test_select_results_carry_indices(self):
+        commit = self._commit([Send("r", "v")], [Receive()],
+                              plain_send=False, plain_recv=False)
+        sender_result, receiver_result = resume_values(commit)
+        assert sender_result.index == 0
+        assert receiver_result.value == "v"
+        assert receiver_result.sender == "s"
+
+    def test_as_alias_reported_to_receiver(self):
+        commit = self._commit([Send("r", "v", as_alias="role-a")],
+                              [Receive(with_sender=True)])
+        _, receiver_result = resume_values(commit)
+        assert receiver_result.sender == "role-a"
+
+    def test_else_result(self):
+        assert else_result().index == ELSE_BRANCH

@@ -1,0 +1,55 @@
+"""Validation tests for effect constructors."""
+
+import pytest
+
+from repro.runtime import (Choice, Delay, Receive, ReceivedMessage, Select,
+                           Send)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_zero_delay_allowed():
+    assert Delay(0).duration == 0
+
+
+def test_empty_choice_rejected():
+    with pytest.raises(ValueError):
+        Choice(())
+
+
+def test_choice_options_normalised_to_tuple():
+    choice = Choice([1, 2, 3])
+    assert choice.options == (1, 2, 3)
+
+
+def test_select_branches_normalised_to_tuple():
+    select = Select([Send("a", 1), Receive("b")])
+    assert isinstance(select.branches, tuple)
+    assert len(select.branches) == 2
+
+
+def test_effects_are_frozen():
+    send = Send("a", 1)
+    with pytest.raises(AttributeError):
+        send.value = 2
+
+
+def test_received_message_fields():
+    message = ReceivedMessage("payload", "sender-alias")
+    assert message.value == "payload"
+    assert message.sender == "sender-alias"
+
+
+def test_send_defaults():
+    send = Send("dest", "v")
+    assert send.tag is None
+    assert send.as_alias is None
+
+
+def test_receive_defaults():
+    receive = Receive()
+    assert receive.frm is None
+    assert receive.with_sender is False

@@ -1,0 +1,147 @@
+"""Property-based tests for the runtime kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError
+from repro.runtime import (Delay, Receive, Scheduler, Select, Send,
+                           run_processes)
+
+
+def trace_signature(result):
+    return tuple((e.kind, e.process, tuple(sorted(e.details.items(),
+                                                  key=repr)))
+                 for e in result.tracer)
+
+
+@given(seed=st.integers(0, 2**16),
+       delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                       max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_same_seed_same_trace(seed, delays):
+    """A run is a pure function of (processes, seed)."""
+    def build():
+        def sleeper(d):
+            yield Delay(d)
+            return d
+
+        def hub(n):
+            total = 0.0
+            for _ in range(n):
+                total += yield Receive()
+            return total
+
+        def worker(d):
+            yield Delay(d)
+            yield Send("hub", d)
+
+        processes = {"hub": hub(len(delays))}
+        for i, d in enumerate(delays):
+            processes[("w", i)] = worker(d)
+        return processes
+
+    first = run_processes(build(), seed=seed)
+    second = run_processes(build(), seed=seed)
+    assert trace_signature(first) == trace_signature(second)
+    assert first.results == second.results
+
+
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_no_message_lost_or_duplicated(seed, n):
+    """n senders, one receiver expecting n messages: every payload arrives
+    exactly once, whatever the seed chooses."""
+    def sender(i):
+        yield Send("sink", i)
+
+    def sink():
+        seen = []
+        for _ in range(n):
+            seen.append((yield Receive()))
+        return seen
+
+    processes = {("s", i): sender(i) for i in range(n)}
+    processes["sink"] = sink()
+    result = run_processes(processes, seed=seed)
+    assert sorted(result.results["sink"]) == list(range(n))
+
+
+@given(seed=st.integers(0, 2**16), n=st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_select_commits_exactly_one_branch_per_offer(seed, n):
+    """A selector offering sends to n receivers commits exactly one; the
+    others are then served individually — nobody starves, nobody gets two."""
+    def receiver(i):
+        value = yield Receive()
+        return value
+
+    def selector():
+        taken = set()
+        for round_number in range(n):
+            branches = [Send(("r", i), round_number)
+                        for i in range(n) if i not in taken]
+            live = [i for i in range(n) if i not in taken]
+            result = yield Select(tuple(branches))
+            taken.add(live[result.index])
+        return sorted(taken)
+
+    processes = {("r", i): receiver(i) for i in range(n)}
+    processes["selector"] = selector()
+    result = run_processes(processes, seed=seed)
+    assert result.results["selector"] == list(range(n))
+    received = [result.results[("r", i)] for i in range(n)]
+    assert sorted(received) == list(range(n))
+
+
+@given(seed=st.integers(0, 2**16),
+       durations=st.lists(st.floats(0, 50, allow_nan=False), min_size=1,
+                          max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_virtual_time_ends_at_max_delay(seed, durations):
+    def sleeper(d):
+        yield Delay(d)
+
+    processes = {("p", i): sleeper(d) for i, d in enumerate(durations)}
+    result = run_processes(processes, seed=seed)
+    assert result.time == max(durations)
+
+
+@given(seed=st.integers(0, 2**16), pairs=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_disjoint_pairs_all_complete(seed, pairs):
+    """Independent sender/receiver pairs never interfere (tag scoping)."""
+    def sender(i):
+        yield Send(("recv", i), ("payload", i), tag=("pair", i))
+
+    def receiver(i):
+        value = yield Receive(tag=("pair", i))
+        return value
+
+    processes = {}
+    for i in range(pairs):
+        processes[("send", i)] = sender(i)
+        processes[("recv", i)] = receiver(i)
+    result = run_processes(processes, seed=seed)
+    for i in range(pairs):
+        assert result.results[("recv", i)] == ("payload", i)
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_deadlock_detection_is_seed_independent(seed):
+    """A structurally deadlocked system deadlocks under every seed."""
+    def a():
+        yield Receive("b")
+        yield Send("b", 1)
+
+    def b():
+        yield Receive("a")
+        yield Send("a", 1)
+
+    try:
+        run_processes({"a": a(), "b": b()}, seed=seed)
+        raised = False
+    except DeadlockError as error:
+        raised = True
+        assert set(error.blocked) == {"a", "b"}
+    assert raised

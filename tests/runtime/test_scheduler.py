@@ -1,0 +1,398 @@
+"""Unit tests for the cooperative scheduler core."""
+
+import pytest
+
+from repro.errors import (DeadlockError, ProcessFailure, RuntimeKernelError,
+                          StepLimitExceeded)
+from repro.runtime import (Choice, Delay, GetName, GetTime, ProcessState,
+                           Receive, Scheduler, Send, Spawn, Trace, WaitUntil,
+                           run_processes)
+from repro.runtime.tracing import EventKind
+
+
+def test_simple_rendezvous_passes_value():
+    def producer():
+        yield Send("consumer", 42)
+        return "sent"
+
+    def consumer():
+        value = yield Receive("producer")
+        return value
+
+    result = run_processes({"producer": producer(), "consumer": consumer()})
+    assert result.results == {"producer": "sent", "consumer": 42}
+
+
+def test_send_blocks_until_receiver_arrives():
+    order = []
+
+    def early_sender():
+        order.append("sender-offers")
+        yield Send("late", "payload")
+        order.append("sender-done")
+
+    def late_receiver():
+        yield Delay(10)
+        order.append("receiver-ready")
+        value = yield Receive()
+        order.append(f"got-{value}")
+
+    run_processes({"early": early_sender(), "late": late_receiver()})
+    assert order == ["sender-offers", "receiver-ready", "got-payload",
+                     "sender-done"] or order == [
+        "sender-offers", "receiver-ready", "sender-done", "got-payload"]
+
+
+def test_unnamed_receive_accepts_any_sender():
+    def sender(i):
+        yield Send("hub", i)
+
+    def hub():
+        seen = []
+        for _ in range(3):
+            value = yield Receive()
+            seen.append(value)
+        return sorted(seen)
+
+    result = run_processes({
+        "hub": hub(),
+        "s1": sender(1), "s2": sender(2), "s3": sender(3)})
+    assert result.results["hub"] == [1, 2, 3]
+
+
+def test_named_receive_filters_sender():
+    def sender(name, value):
+        yield Send("picky", value)
+
+    def picky():
+        value = yield Receive("wanted")
+        return value
+
+    result = run_processes({
+        "picky": picky(),
+        "wanted": sender("wanted", "yes"),
+        # The unwanted sender will deadlock, so give it an escape: it also
+        # sends to a sink that only reads after picky is served.
+        "sink": _sink_after_pick(),
+        "unwanted": sender_with_fallback()})
+    assert result.results["picky"] == "yes"
+
+
+def _sink_after_pick():
+    value = yield Receive("unwanted")
+    return value
+
+
+def sender_with_fallback():
+    yield Send("sink", "no")
+
+
+def test_tags_separate_channels():
+    def sender():
+        yield Send("receiver", "a", tag="chan-a")
+        yield Send("receiver", "b", tag="chan-b")
+
+    def receiver():
+        # Receive in the opposite tag order: tags must prevent mismatches,
+        # so this deadlocks unless the sender's first offer only matches
+        # the tag-a receive.
+        first = yield Receive(tag="chan-a")
+        second = yield Receive(tag="chan-b")
+        return (first, second)
+
+    result = run_processes({"sender": sender(), "receiver": receiver()})
+    assert result.results["receiver"] == ("a", "b")
+
+
+def test_mismatched_tags_deadlock():
+    def sender():
+        yield Send("receiver", 1, tag="x")
+
+    def receiver():
+        yield Receive(tag="y")
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_processes({"sender": sender(), "receiver": receiver()})
+    assert "sender" in str(excinfo.value)
+    assert "receiver" in str(excinfo.value)
+
+
+def test_receive_with_sender_reports_identity():
+    def sender():
+        yield Send("receiver", "hi")
+
+    def receiver():
+        message = yield Receive(with_sender=True)
+        return (message.value, message.sender)
+
+    result = run_processes({"sender": sender(), "receiver": receiver()})
+    assert result.results["receiver"] == ("hi", "sender")
+
+
+def test_delay_advances_virtual_time():
+    def sleeper():
+        t0 = yield GetTime()
+        yield Delay(7.5)
+        t1 = yield GetTime()
+        return (t0, t1)
+
+    result = run_processes({"sleeper": sleeper()})
+    assert result.results["sleeper"] == (0.0, 7.5)
+    assert result.time == 7.5
+
+
+def test_delays_interleave_by_time():
+    log = []
+
+    def sleeper(name, duration):
+        yield Delay(duration)
+        log.append(name)
+
+    run_processes({
+        "slow": sleeper("slow", 30),
+        "fast": sleeper("fast", 10),
+        "mid": sleeper("mid", 20)})
+    assert log == ["fast", "mid", "slow"]
+
+
+def test_wait_until_wakes_on_state_change():
+    box = {"ready": False}
+
+    def setter():
+        yield Delay(5)
+        box["ready"] = True
+        # Yield once more so the scheduler re-evaluates waiters.
+        yield Delay(0)
+
+    def waiter():
+        yield WaitUntil(lambda: box["ready"], "box ready")
+        t = yield GetTime()
+        return t
+
+    result = run_processes({"setter": setter(), "waiter": waiter()})
+    assert result.results["waiter"] == 5.0
+
+
+def test_wait_until_true_immediately_does_not_block():
+    def waiter():
+        yield WaitUntil(lambda: True, "trivially true")
+        return "done"
+
+    result = run_processes({"waiter": waiter()})
+    assert result.results["waiter"] == "done"
+
+
+def test_get_name():
+    def who():
+        name = yield GetName()
+        return name
+
+    result = run_processes({("proc", 3): who()})
+    assert result.results[("proc", 3)] == ("proc", 3)
+
+
+def test_choice_is_deterministic_under_seed():
+    def chooser():
+        picks = []
+        for _ in range(10):
+            picks.append((yield Choice((1, 2, 3))))
+        return picks
+
+    first = run_processes({"c": chooser()}, seed=7).results["c"]
+    second = run_processes({"c": chooser()}, seed=7).results["c"]
+    third = run_processes({"c": chooser()}, seed=8).results["c"]
+    assert first == second
+    assert len(set(map(tuple, [first, third]))) >= 1  # third may differ
+    assert set(first) <= {1, 2, 3}
+
+
+def test_spawn_creates_runnable_process():
+    def child():
+        yield Send("parent", "from-child")
+
+    def parent():
+        yield Spawn("kid", child())
+        value = yield Receive("kid")
+        return value
+
+    result = run_processes({"parent": parent()})
+    assert result.results["parent"] == "from-child"
+    assert result.results["kid"] is None
+
+
+def test_duplicate_process_name_rejected():
+    def noop():
+        yield Delay(0)
+
+    scheduler = Scheduler()
+    scheduler.spawn("p", noop())
+    with pytest.raises(RuntimeKernelError):
+        scheduler.spawn("p", noop())
+
+
+def test_process_failure_raises_with_cause():
+    def failing():
+        yield Delay(1)
+        raise ValueError("boom")
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        run_processes({"bad": failing()})
+    assert excinfo.value.process_name == "bad"
+    assert isinstance(excinfo.value.original, ValueError)
+
+
+def test_fail_fast_false_collects_failures():
+    def failing():
+        raise ValueError("boom")
+        yield  # pragma: no cover - makes this a generator
+
+    def healthy():
+        yield Delay(1)
+        return "ok"
+
+    scheduler = Scheduler(fail_fast=False)
+    scheduler.spawn("bad", failing())
+    scheduler.spawn("good", healthy())
+    result = scheduler.run()
+    assert result.results["good"] == "ok"
+    assert "bad" in result.failures
+    assert not result.ok
+
+
+def test_deadlock_reports_all_blocked_processes():
+    def waits_forever():
+        yield Receive("ghost")
+
+    def also_waits():
+        yield WaitUntil(lambda: False, "the impossible")
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_processes({"a": waits_forever(), "b": also_waits()})
+    assert set(excinfo.value.blocked) == {"a", "b"}
+    assert "the impossible" in excinfo.value.blocked["b"]
+
+
+def test_step_limit_catches_livelock():
+    def spinner():
+        while True:
+            yield Delay(0)
+
+    with pytest.raises(StepLimitExceeded):
+        run_processes({"s": spinner()}, max_steps=100)
+
+
+def test_yielding_non_effect_is_an_error():
+    def confused():
+        yield 42
+
+    with pytest.raises(ProcessFailure):
+        run_processes({"c": confused()})
+
+
+def test_trace_records_comm_events():
+    def sender():
+        yield Send("receiver", "x", tag="t")
+
+    def receiver():
+        yield Receive(tag="t")
+
+    result = run_processes({"sender": sender(), "receiver": receiver()})
+    comms = result.tracer.of_kind(EventKind.COMM)
+    assert len(comms) == 1
+    assert comms[0].process == "sender"
+    assert comms[0].get("receiver") == "receiver"
+    assert comms[0].get("value") == "x"
+    assert comms[0].get("tag") == "t"
+
+
+def test_user_trace_events():
+    def noisy():
+        yield Trace("checkpoint", {"n": 1})
+        yield Trace("checkpoint", {"n": 2})
+
+    result = run_processes({"noisy": noisy()})
+    events = result.tracer.user_events("checkpoint")
+    assert [e.get("n") for e in events] == [1, 2]
+
+
+def test_kill_removes_process_and_partner_deadlocks():
+    def victim():
+        yield Receive("nobody")
+
+    def observer():
+        yield Delay(5)
+        return "survived"
+
+    scheduler = Scheduler()
+    scheduler.spawn("victim", victim())
+    scheduler.spawn("observer", observer())
+    scheduler.kill_at(1, "victim")
+    result = scheduler.run()
+    assert result.results["observer"] == "survived"
+    assert "victim" in result.killed
+
+
+def test_kill_frees_partner_into_deadlock_detection():
+    def victim():
+        yield Delay(100)
+
+    def partner():
+        yield Send("victim", "msg")
+
+    scheduler = Scheduler()
+    scheduler.spawn("victim", victim())
+    scheduler.spawn("partner", partner())
+    scheduler.kill_at(1, "victim")
+    with pytest.raises(DeadlockError):
+        scheduler.run()
+
+
+def test_run_until_stops_clock():
+    def ticker():
+        for _ in range(10):
+            yield Delay(10)
+        return "finished"
+
+    scheduler = Scheduler()
+    scheduler.spawn("ticker", ticker())
+    result = scheduler.run(until=35)
+    assert result.time == 35
+    assert "ticker" not in result.results  # still blocked on a timer
+    final = scheduler.run()
+    assert final.results["ticker"] == "finished"
+
+
+def test_run_result_repr_mentions_counts():
+    def quick():
+        yield Delay(0)
+
+    result = run_processes({"q": quick()})
+    assert "done=1" in repr(result)
+
+
+def test_sequential_determinism_of_whole_run():
+    """Two runs with the same seed produce identical traces."""
+    def worker(i):
+        yield Delay(i)
+        yield Send("hub", i)
+
+    def hub(n):
+        total = 0
+        for _ in range(n):
+            total += yield Receive()
+        return total
+
+    def build():
+        procs = {"hub": hub(4)}
+        for i in range(4):
+            procs[f"w{i}"] = worker(i)
+        return procs
+
+    r1 = run_processes(build(), seed=3)
+    r2 = run_processes(build(), seed=3)
+    t1 = [(e.kind, e.process, tuple(sorted(e.details.items())))
+          for e in r1.tracer]
+    t2 = [(e.kind, e.process, tuple(sorted(e.details.items())))
+          for e in r2.tracer]
+    assert t1 == t2
+    assert r1.results["hub"] == 0 + 1 + 2 + 3

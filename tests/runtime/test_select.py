@@ -1,0 +1,166 @@
+"""Tests for the Select effect: guarded alternatives over communications."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime import (ELSE_BRANCH, Delay, Receive, Select, SelectResult,
+                           Send, run_processes)
+
+
+def test_select_receive_from_two_senders_takes_one():
+    def sender(target_value):
+        yield Send("selector", target_value)
+
+    def selector():
+        result = yield Select([Receive("s1"), Receive("s2")])
+        # The other sender must still be served to avoid deadlock.
+        other = yield Receive()
+        return (result.index, result.value, other)
+
+    result = run_processes({
+        "selector": selector(), "s1": sender("one"), "s2": sender("two")})
+    index, value, other = result.results["selector"]
+    assert {value, other} == {"one", "two"}
+    assert (index == 0) == (value == "one")
+
+
+def test_select_mixed_send_and_receive():
+    def peer_receiver():
+        value = yield Receive("selector")
+        return value
+
+    def selector():
+        result = yield Select([
+            Send("peer", "outgoing"),
+            Receive("ghost"),
+        ])
+        return result.index
+
+    result = run_processes({"selector": selector(),
+                            "peer": peer_receiver()})
+    assert result.results["selector"] == 0
+    assert result.results["peer"] == "outgoing"
+
+
+def test_select_result_reports_sender_alias():
+    def sender():
+        yield Send("selector", 99)
+
+    def selector():
+        result = yield Select([Receive()])
+        return result
+
+    result = run_processes({"selector": selector(), "sender": sender()})
+    select_result = result.results["selector"]
+    assert isinstance(select_result, SelectResult)
+    assert select_result.value == 99
+    assert select_result.sender == "sender"
+
+
+def test_immediate_select_takes_else_when_nothing_matches():
+    def impatient():
+        result = yield Select([Receive("ghost")], immediate=True)
+        return result.index
+
+    result = run_processes({"impatient": impatient()})
+    assert result.results["impatient"] == ELSE_BRANCH
+
+
+def test_immediate_select_commits_when_partner_is_ready():
+    def sender():
+        yield Send("poller", "data")
+
+    def poller():
+        # Poll until the sender's offer is pending.
+        while True:
+            result = yield Select([Receive("sender")], immediate=True)
+            if result.index != ELSE_BRANCH:
+                return result.value
+            yield Delay(1)
+
+    result = run_processes({"poller": poller(), "sender": sender()})
+    assert result.results["poller"] == "data"
+
+
+def test_select_commits_exactly_one_branch():
+    """Both partners are available, but only one branch may fire."""
+    received = []
+
+    def receiver(name):
+        value = yield Receive("selector")
+        received.append((name, value))
+        # Unblock: accept nothing further.
+
+    def selector():
+        result = yield Select([Send("r1", "x"), Send("r2", "x")])
+        # Exactly one branch fired; the untaken receiver must be released
+        # by a second plain send.
+        remaining = "r2" if result.index == 0 else "r1"
+        yield Send(remaining, "y")
+        return result.index
+
+    result = run_processes({
+        "selector": selector(), "r1": receiver("r1"), "r2": receiver("r2")})
+    values = sorted(v for _, v in received)
+    assert values == ["x", "y"]
+    assert result.results["selector"] in (0, 1)
+
+
+def test_two_selectors_match_each_other():
+    def left():
+        result = yield Select([Send("right", "from-left"), Receive("right")])
+        return result
+
+    def right():
+        result = yield Select([Send("left", "from-right"), Receive("left")])
+        return result
+
+    result = run_processes({"left": left(), "right": right()})
+    left_result = result.results["left"]
+    right_result = result.results["right"]
+    # Exactly one side sent and the other received.
+    sent_left = left_result.index == 0
+    sent_right = right_result.index == 0
+    assert sent_left != sent_right
+    if sent_left:
+        assert right_result.value == "from-left"
+    else:
+        assert left_result.value == "from-right"
+
+
+def test_empty_select_deadlocks():
+    def stuck():
+        yield Select([])
+
+    with pytest.raises(DeadlockError):
+        run_processes({"stuck": stuck()})
+
+
+def test_select_choice_distribution_depends_on_seed():
+    """With many seeds, both branches of a symmetric select are observed."""
+    outcomes = set()
+    for seed in range(12):
+        def sender(name):
+            yield Send("selector", name)
+
+        def selector():
+            result = yield Select([Receive("a"), Receive("b")])
+            _ = yield Receive()  # drain the other
+            return result.index
+
+        # Spawn the senders first so both offers are pending when the
+        # selector arrives; only then is the choice nondeterministic.
+        result = run_processes(
+            {"a": sender("a"), "b": sender("b"), "selector": selector()},
+            seed=seed)
+        outcomes.add(result.results["selector"])
+    assert outcomes == {0, 1}
+
+
+def test_select_branches_must_be_comm_effects():
+    def bad():
+        yield Select([Delay(1)])  # type: ignore[list-item]
+
+    from repro.errors import ProcessFailure
+    with pytest.raises(ProcessFailure):
+        run_processes({"bad": bad()})

@@ -1,0 +1,96 @@
+"""Unit tests for the tracing utilities."""
+
+from repro.runtime import EventKind, Tracer, format_trace
+from repro.runtime.tracing import TraceEvent
+
+
+def test_emit_assigns_monotonic_sequence_numbers():
+    tracer = Tracer()
+    first = tracer.emit(0.0, EventKind.SPAWN, "a")
+    second = tracer.emit(1.0, EventKind.COMM, "a", value=1)
+    assert first.seq == 0
+    assert second.seq == 1
+    assert len(tracer) == 2
+
+
+def test_sequence_continues_after_clear():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.SPAWN, "a")
+    tracer.clear()
+    assert len(tracer) == 0
+    event = tracer.emit(0, EventKind.SPAWN, "b")
+    assert event.seq == 1  # numbering never restarts
+
+
+def test_of_kind_filters_and_preserves_order():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.SPAWN, "a")
+    tracer.emit(0, EventKind.COMM, "a")
+    tracer.emit(0, EventKind.SPAWN, "b")
+    spawns = tracer.of_kind(EventKind.SPAWN)
+    assert [e.process for e in spawns] == ["a", "b"]
+    both = tracer.of_kind(EventKind.SPAWN, EventKind.COMM)
+    assert len(both) == 3
+
+
+def test_for_process():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.SPAWN, "a")
+    tracer.emit(0, EventKind.SPAWN, "b")
+    tracer.emit(0, EventKind.PROC_DONE, "a")
+    assert [e.kind for e in tracer.for_process("a")] == [
+        EventKind.SPAWN, EventKind.PROC_DONE]
+
+
+def test_user_events_filter_by_subkind():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.USER, "a", user_kind="checkpoint", n=1)
+    tracer.emit(0, EventKind.USER, "a", user_kind="other")
+    tracer.emit(0, EventKind.COMM, "a")
+    assert len(tracer.user_events()) == 2
+    assert len(tracer.user_events("checkpoint")) == 1
+    assert tracer.user_events("checkpoint")[0].get("n") == 1
+
+
+def test_event_get_with_default():
+    event = TraceEvent(0, 0.0, EventKind.COMM, "a", {"value": 3})
+    assert event.get("value") == 3
+    assert event.get("missing", "fallback") == "fallback"
+
+
+def test_format_trace_renders_lines():
+    tracer = Tracer()
+    tracer.emit(0.0, EventKind.SPAWN, "worker")
+    tracer.emit(2.5, EventKind.COMM, "worker", receiver="sink", value=7)
+    text = format_trace(tracer)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "spawn" in lines[0] and "worker" in lines[0]
+    assert "t=2.5" in lines[1] and "value=7" in lines[1]
+
+
+def test_iteration_yields_all_events():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.emit(i, EventKind.DELAY, "p", duration=i)
+    assert [e.get("duration") for e in tracer] == [0, 1, 2, 3, 4]
+
+
+def test_shared_tracer_across_runs():
+    """One tracer can span several scheduler runs with a total order."""
+    from repro.runtime import Delay, Scheduler
+
+    tracer = Tracer()
+
+    def nap():
+        yield Delay(1)
+
+    first = Scheduler(tracer=tracer)
+    first.spawn("a", nap())
+    first.run()
+    second = Scheduler(tracer=tracer)
+    second.spawn("b", nap())
+    second.run()
+    sequences = [e.seq for e in tracer]
+    assert sequences == sorted(sequences)
+    assert {e.process for e in tracer.of_kind(EventKind.SPAWN)} == {"a", "b"}

@@ -1,0 +1,152 @@
+"""Tests for the broadcast script family (Figures 3, 4, 6 + tree)."""
+
+import pytest
+
+from repro.errors import ScriptDefinitionError
+from repro.runtime import EventKind, Scheduler
+from repro.scripts import STRATEGIES, make_broadcast, run_broadcast
+from repro.scripts.broadcast import data_param_name, sender_role_name
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_all_strategies_deliver_to_every_recipient(strategy):
+    received = run_broadcast(5, strategy, value="payload", seed=1)
+    assert received == {i: "payload" for i in range(1, 6)}
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("n", [1, 2, 8, 17])
+def test_strategies_scale_with_recipient_count(strategy, n):
+    received = run_broadcast(n, strategy, value=("v", n), seed=2)
+    assert received == {i: ("v", n) for i in range(1, n + 1)}
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ScriptDefinitionError):
+        make_broadcast(5, "carrier-pigeon")
+
+
+def test_zero_recipients_rejected():
+    with pytest.raises(ScriptDefinitionError):
+        make_broadcast(0, "star")
+
+
+def test_star_uses_delayed_policies_and_pipeline_immediate():
+    from repro.core import Initiation, Termination
+    star = make_broadcast(5, "star")
+    pipeline = make_broadcast(5, "pipeline")
+    assert star.initiation is Initiation.DELAYED
+    assert star.termination is Termination.DELAYED
+    assert pipeline.initiation is Initiation.IMMEDIATE
+    assert pipeline.termination is Termination.IMMEDIATE
+
+
+def test_star_message_count_is_n():
+    scheduler = Scheduler()
+    run_broadcast(7, "star", scheduler=scheduler)
+    comms = scheduler.tracer.of_kind(EventKind.COMM)
+    assert len(comms) == 7
+
+
+def test_pipeline_message_count_is_n():
+    scheduler = Scheduler()
+    run_broadcast(7, "pipeline", scheduler=scheduler)
+    comms = scheduler.tracer.of_kind(EventKind.COMM)
+    assert len(comms) == 7
+
+
+def test_tree_message_count_is_n():
+    scheduler = Scheduler()
+    run_broadcast(7, "tree", scheduler=scheduler)
+    comms = scheduler.tracer.of_kind(EventKind.COMM)
+    assert len(comms) == 7
+
+
+def test_star_nondet_order_varies_with_seed():
+    """Figure 6's repetitive command sends in seed-dependent order."""
+    orders = set()
+    for seed in range(8):
+        scheduler = Scheduler(seed=seed)
+        run_broadcast(4, "star_nondet", scheduler=scheduler)
+        comm_targets = tuple(
+            event.get("to").role_id
+            for event in scheduler.tracer.of_kind(EventKind.COMM))
+        orders.add(comm_targets)
+    assert len(orders) > 1
+
+
+def test_star_order_is_fixed():
+    """Figure 3 sends to recipients 1..n in a pre-specified order."""
+    scheduler = Scheduler(seed=9)
+    run_broadcast(5, "star", scheduler=scheduler)
+    targets = [event.get("to").role_id
+               for event in scheduler.tracer.of_kind(EventKind.COMM)]
+    assert targets == [("recipient", i) for i in range(1, 6)]
+
+
+def test_pipeline_passes_through_neighbours():
+    scheduler = Scheduler()
+    run_broadcast(4, "pipeline", scheduler=scheduler)
+    hops = [(event.get("sender_alias").role_id, event.get("to").role_id)
+            for event in scheduler.tracer.of_kind(EventKind.COMM)]
+    assert hops == [
+        ("sender", ("recipient", 1)),
+        (("recipient", 1), ("recipient", 2)),
+        (("recipient", 2), ("recipient", 3)),
+        (("recipient", 3), ("recipient", 4)),
+    ]
+
+
+def test_tree_wave_parents_and_children():
+    scheduler = Scheduler()
+    run_broadcast(6, "tree", scheduler=scheduler)
+    hops = {(event.get("sender_alias").role_id, event.get("to").role_id)
+            for event in scheduler.tracer.of_kind(EventKind.COMM)}
+    assert ("sender", ("recipient", 1)) in hops
+    assert (("recipient", 1), ("recipient", 2)) in hops
+    assert (("recipient", 1), ("recipient", 3)) in hops
+    assert (("recipient", 2), ("recipient", 4)) in hops
+    assert (("recipient", 2), ("recipient", 5)) in hops
+    assert (("recipient", 3), ("recipient", 6)) in hops
+
+
+def test_pipeline_with_staggered_recipients():
+    """Immediate initiation: late recipients delay only their own segment."""
+    received = run_broadcast(4, "pipeline", value="w",
+                             recipient_delays={3: 50.0})
+    assert received == {i: "w" for i in range(1, 5)}
+
+
+def test_helper_role_and_param_names():
+    star = make_broadcast(3, "star")
+    nondet = make_broadcast(3, "star_nondet")
+    assert sender_role_name(star) == "sender"
+    assert sender_role_name(nondet) == "transmitter"
+    assert data_param_name(star, "sender") == "data"
+    assert data_param_name(nondet, "transmitter") == "x"
+
+
+def test_broadcast_repeated_performances():
+    """The same instance supports consecutive broadcasts (Figure 2 style)."""
+    from repro.scripts import make_star_broadcast
+
+    script = make_star_broadcast(2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="first")
+        yield from instance.enroll("sender", data="second")
+
+    def recipient(i):
+        out1 = yield from instance.enroll(("recipient", i))
+        out2 = yield from instance.enroll(("recipient", i))
+        return (out1["data"], out2["data"])
+
+    scheduler.spawn("T", transmitter())
+    scheduler.spawn("R1", recipient(1))
+    scheduler.spawn("R2", recipient(2))
+    result = scheduler.run()
+    assert result.results["R1"] == ("first", "second")
+    assert result.results["R2"] == ("first", "second")
+    assert instance.performance_count == 2

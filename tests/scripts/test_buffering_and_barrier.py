@@ -1,0 +1,175 @@
+"""Tests for buffering regimes, mailbox broadcast, barrier and exchange."""
+
+import pytest
+
+from repro.errors import ScriptDefinitionError
+from repro.runtime import Delay, GetTime, Scheduler
+from repro.scripts import (make_barrier, make_bounded_buffer, make_exchange,
+                           make_mailbox_broadcast, make_unbounded_buffer)
+
+
+def run_buffer(script, items, seed=0):
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def producer():
+        yield from instance.enroll("producer", items=items)
+
+    def buffer_holder():
+        yield from instance.enroll("buffer")
+
+    def consumer():
+        out = yield from instance.enroll("consumer")
+        return out["received"]
+
+    scheduler.spawn("P", producer())
+    scheduler.spawn("B", buffer_holder())
+    scheduler.spawn("C", consumer())
+    result = scheduler.run()
+    return result.results["C"]
+
+
+@pytest.mark.parametrize("capacity", [1, 2, 5, 100])
+def test_bounded_buffer_preserves_order(capacity):
+    items = list(range(20))
+    assert run_buffer(make_bounded_buffer(capacity), items) == items
+
+
+def test_bounded_buffer_empty_stream():
+    assert run_buffer(make_bounded_buffer(3), []) == []
+
+
+def test_bounded_buffer_rejects_zero_capacity():
+    with pytest.raises(ScriptDefinitionError):
+        make_bounded_buffer(0)
+
+
+def test_unbounded_buffer_preserves_order():
+    items = [f"item{i}" for i in range(15)]
+    assert run_buffer(make_unbounded_buffer(), items) == items
+
+
+def test_mailbox_broadcast_delivers_to_all():
+    script = make_mailbox_broadcast(4)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def sender():
+        yield from instance.enroll("sender", data="monitor-msg")
+
+    def recipient(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("S", sender())
+    for i in range(1, 5):
+        scheduler.spawn(f"R{i}", recipient(i))
+    result = scheduler.run()
+    assert all(result.results[f"R{i}"] == "monitor-msg" for i in range(1, 5))
+
+
+def test_mailbox_broadcast_consecutive_performances_use_fresh_boxes():
+    script = make_mailbox_broadcast(2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def sender():
+        yield from instance.enroll("sender", data="one")
+        yield from instance.enroll("sender", data="two")
+
+    def recipient(i):
+        first = yield from instance.enroll(("recipient", i))
+        second = yield from instance.enroll(("recipient", i))
+        return (first["data"], second["data"])
+
+    scheduler.spawn("S", sender())
+    scheduler.spawn("R1", recipient(1))
+    scheduler.spawn("R2", recipient(2))
+    result = scheduler.run()
+    assert result.results["R1"] == ("one", "two")
+    assert result.results["R2"] == ("one", "two")
+
+
+def test_barrier_releases_all_at_last_arrival():
+    script = make_barrier(3)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    release_times = {}
+
+    def party(name, arrive_at):
+        yield Delay(arrive_at)
+        yield from instance.enroll("party")
+        release_times[name] = (yield GetTime())
+
+    scheduler.spawn("A", party("A", 5))
+    scheduler.spawn("B", party("B", 15))
+    scheduler.spawn("C", party("C", 10))
+    scheduler.run()
+    assert release_times == {"A": 15.0, "B": 15.0, "C": 15.0}
+
+
+def test_barrier_is_reusable_across_performances():
+    script = make_barrier(2)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    episodes = []
+
+    def party(name, delays):
+        for episode, delay in enumerate(delays):
+            yield Delay(delay)
+            yield from instance.enroll("party")
+            episodes.append((episode, name, (yield GetTime())))
+
+    scheduler.spawn("A", party("A", [1, 1]))
+    scheduler.spawn("B", party("B", [10, 10]))
+    scheduler.run()
+    assert instance.performance_count == 2
+    # Episode 0 released at t=10, episode 1 at t=20.
+    times = {(ep, name): t for ep, name, t in episodes}
+    assert times[(0, "A")] == times[(0, "B")] == 10.0
+    assert times[(1, "A")] == times[(1, "B")] == 20.0
+
+
+def test_barrier_needs_two_parties():
+    with pytest.raises(ScriptDefinitionError):
+        make_barrier(1)
+
+
+def test_exchange_everyone_sees_everything():
+    script = make_exchange(4)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def party(i):
+        out = yield from instance.enroll(("party", i), value=i * 10)
+        return out["gathered"]
+
+    for i in range(1, 5):
+        scheduler.spawn(f"P{i}", party(i))
+    result = scheduler.run()
+    expected = {1: 10, 2: 20, 3: 30, 4: 40}
+    for i in range(1, 5):
+        assert result.results[f"P{i}"] == expected
+
+
+def test_exchange_with_bare_family_enrollment():
+    """Parties may enroll without choosing indices explicitly."""
+    script = make_exchange(3)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def party(value):
+        out = yield from instance.enroll("party", value=value)
+        return sorted(out["gathered"].values())
+
+    scheduler.spawn("P1", party("a"))
+    scheduler.spawn("P2", party("b"))
+    scheduler.spawn("P3", party("c"))
+    result = scheduler.run()
+    for name in ("P1", "P2", "P3"):
+        assert result.results[name] == ["a", "b", "c"]
+
+
+def test_exchange_needs_two_parties():
+    with pytest.raises(ScriptDefinitionError):
+        make_exchange(1)

@@ -1,0 +1,123 @@
+"""Tests for the 2PC and ring-election library scripts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScriptDefinitionError
+from repro.runtime import Scheduler
+from repro.scripts import (ABORT, COMMIT, make_ring_election,
+                           make_two_phase_commit, run_election,
+                           run_transaction)
+
+
+class TestTwoPhaseCommit:
+    def test_all_yes_commits(self):
+        decision, outcomes = run_transaction(["yes", "yes", "yes"])
+        assert decision == COMMIT
+        assert outcomes == [COMMIT] * 3
+
+    def test_single_no_aborts(self):
+        decision, outcomes = run_transaction(["yes", "no", "yes"])
+        assert decision == ABORT
+        assert outcomes == [ABORT] * 3
+
+    def test_single_participant(self):
+        assert run_transaction(["yes"]) == (COMMIT, [COMMIT])
+        assert run_transaction(["no"]) == (ABORT, [ABORT])
+
+    def test_zero_participants_rejected(self):
+        with pytest.raises(ScriptDefinitionError):
+            make_two_phase_commit(0)
+
+    @given(votes=st.lists(st.sampled_from(["yes", "no"]), min_size=1,
+                          max_size=8),
+           seed=st.integers(0, 2**10))
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_and_validity(self, votes, seed):
+        """AC1 (agreement): all participants decide the same value.
+        AC3/AC4 (validity): commit iff every vote was yes."""
+        decision, outcomes = run_transaction(votes, seed=seed)
+        assert set(outcomes) == {decision}
+        expected = COMMIT if all(v == "yes" for v in votes) else ABORT
+        assert decision == expected
+
+    def test_successive_transactions_are_isolated(self):
+        """Consecutive performances never mix votes (Figure 2's rule in a
+        transactional guise)."""
+        script = make_two_phase_commit(2)
+        scheduler = Scheduler()
+        instance = script.instance(scheduler)
+        rounds = [["yes", "yes"], ["yes", "no"], ["no", "no"]]
+
+        def coordinator():
+            decisions = []
+            for r, _ in enumerate(rounds):
+                out = yield from instance.enroll("coordinator",
+                                                 proposal=("txn", r))
+                decisions.append(out["decision"])
+            return decisions
+
+        def participant(i):
+            outcomes = []
+            for votes in rounds:
+                out = yield from instance.enroll(("participant", i),
+                                                 vote=votes[i - 1])
+                outcomes.append(out["outcome"])
+            return outcomes
+
+        scheduler.spawn("C", coordinator())
+        scheduler.spawn("P1", participant(1))
+        scheduler.spawn("P2", participant(2))
+        result = scheduler.run()
+        assert result.results["C"] == [COMMIT, ABORT, ABORT]
+        assert result.results["P1"] == [COMMIT, ABORT, ABORT]
+
+
+class TestRingElection:
+    def test_max_id_wins(self):
+        leaders = run_election([3, 7, 5])
+        assert leaders == {1: 7, 2: 7, 3: 7}
+
+    def test_max_at_every_position(self):
+        for position in range(4):
+            ids = [10, 20, 30, 40]
+            ids[position], ids[-1] = ids[-1], ids[position]
+            leaders = run_election(ids)
+            assert set(leaders.values()) == {40}
+
+    def test_two_stations(self):
+        assert set(run_election([1, 2]).values()) == {2}
+
+    def test_ring_needs_two_stations(self):
+        with pytest.raises(ScriptDefinitionError):
+            make_ring_election(1)
+
+    @given(ids=st.lists(st.integers(0, 1000), min_size=2, max_size=10,
+                        unique=True),
+           seed=st.integers(0, 2**10))
+    @settings(max_examples=60, deadline=None)
+    def test_everyone_learns_the_maximum(self, ids, seed):
+        leaders = run_election(ids, seed=seed)
+        assert set(leaders.values()) == {max(ids)}
+
+    def test_repeated_elections_on_one_instance(self):
+        script = make_ring_election(3)
+        scheduler = Scheduler()
+        instance = script.instance(scheduler)
+        id_rounds = [[1, 9, 5], [8, 2, 4]]
+
+        def station(i):
+            seen = []
+            for ids in id_rounds:
+                out = yield from instance.enroll(("station", i),
+                                                 my_id=ids[i - 1])
+                seen.append(out["leader"])
+            return seen
+
+        for i in range(1, 4):
+            scheduler.spawn(("S", i), station(i))
+        result = scheduler.run()
+        for i in range(1, 4):
+            assert result.results[("S", i)] == [9, 8]
+        assert instance.performance_count == 2

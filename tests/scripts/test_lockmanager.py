@@ -1,0 +1,202 @@
+"""Tests for the Figure 5 lock-manager script and its strategies."""
+
+import pytest
+
+from repro.runtime import Delay, Scheduler
+from repro.scripts import (MAJORITY, ONE_READ_ALL_WRITE,
+                           MultipleGranularityTable, ReplicatedLockService,
+                           make_lock_manager_script)
+
+
+def run_client_ops(k, strategy, ops, table_factory=None, seed=0):
+    """Run a sequence of (client, role, item, op) tuples; return statuses.
+
+    ``ops`` entries: (owner, 'reader'|'writer', item, 'lock'|'release').
+    All operations are issued sequentially by one driver process.
+    """
+    scheduler = Scheduler(seed=seed)
+    kwargs = {"table_factory": table_factory} if table_factory else {}
+    service = ReplicatedLockService(scheduler, k=k, strategy=strategy,
+                                    **kwargs)
+    service.expect_operations(len(ops))
+    service.spawn_managers()
+
+    def driver():
+        statuses = []
+        for owner, role, item, op in ops:
+            status = yield from service.request(role, owner, item, op)
+            statuses.append(status)
+        return statuses
+
+    scheduler.spawn("driver", driver())
+    result = scheduler.run()
+    return result.results["driver"], service
+
+
+def test_single_reader_gets_lock():
+    statuses, _ = run_client_ops(3, ONE_READ_ALL_WRITE,
+                                 [("r1", "reader", "x", "lock")])
+    assert statuses == ["granted"]
+
+
+def test_writer_locks_all_k_nodes():
+    statuses, service = run_client_ops(3, ONE_READ_ALL_WRITE,
+                                       [("w1", "writer", "x", "lock")])
+    assert statuses == ["granted"]
+    assert all(table.writer("x") == "w1" for table in service.tables)
+
+
+def test_reader_locks_exactly_one_node():
+    statuses, service = run_client_ops(3, ONE_READ_ALL_WRITE,
+                                       [("r1", "reader", "x", "lock")])
+    locked = [table for table in service.tables if table.readers("x")]
+    assert len(locked) == 1
+
+
+def test_read_then_write_conflicts_under_one_read_all_write():
+    """A held read lock on any node denies a full-write quorum."""
+    statuses, _ = run_client_ops(3, ONE_READ_ALL_WRITE, [
+        ("r1", "reader", "x", "lock"),
+        ("w1", "writer", "x", "lock"),
+    ])
+    assert statuses == ["granted", "denied"]
+
+
+def test_denied_writer_releases_partial_quorum():
+    """After a denied write, no node still holds w1's lock."""
+    _, service = run_client_ops(3, ONE_READ_ALL_WRITE, [
+        ("r1", "reader", "x", "lock"),
+        ("w1", "writer", "x", "lock"),
+    ])
+    assert all(table.writer("x") != "w1" for table in service.tables)
+
+
+def test_release_then_write_succeeds():
+    statuses, _ = run_client_ops(3, ONE_READ_ALL_WRITE, [
+        ("r1", "reader", "x", "lock"),
+        ("r1", "reader", "x", "release"),
+        ("w1", "writer", "x", "lock"),
+    ])
+    assert statuses == ["granted", "released", "granted"]
+
+
+def test_two_readers_share_under_one_read_all_write():
+    statuses, _ = run_client_ops(3, ONE_READ_ALL_WRITE, [
+        ("r1", "reader", "x", "lock"),
+        ("r2", "reader", "x", "lock"),
+    ])
+    assert statuses == ["granted", "granted"]
+
+
+def test_majority_read_blocks_majority_write():
+    """With k=3 majority: reader holds 2 nodes, writer needs 2 of 3 but at
+    most 1 is free of read locks."""
+    statuses, _ = run_client_ops(3, MAJORITY, [
+        ("r1", "reader", "x", "lock"),
+        ("w1", "writer", "x", "lock"),
+    ])
+    assert statuses == ["granted", "denied"]
+
+
+def test_majority_two_writers_conflict():
+    statuses, _ = run_client_ops(5, MAJORITY, [
+        ("w1", "writer", "x", "lock"),
+        ("w2", "writer", "x", "lock"),
+    ])
+    assert statuses == ["granted", "denied"]
+
+
+def test_majority_writers_on_different_items_coexist():
+    statuses, _ = run_client_ops(3, MAJORITY, [
+        ("w1", "writer", "x", "lock"),
+        ("w2", "writer", "y", "lock"),
+    ])
+    assert statuses == ["granted", "granted"]
+
+
+def test_locks_persist_across_performances():
+    """The tables outlive performances: a lock taken in performance 1 is
+    visible in performance 3."""
+    statuses, _ = run_client_ops(2, ONE_READ_ALL_WRITE, [
+        ("w1", "writer", "x", "lock"),
+        ("r1", "reader", "y", "lock"),   # unrelated op in between
+        ("w2", "writer", "x", "lock"),   # still blocked by w1
+    ])
+    assert statuses == ["granted", "granted", "denied"]
+
+
+def test_multiple_granularity_tables_in_service():
+    statuses, _ = run_client_ops(
+        2, ONE_READ_ALL_WRITE,
+        [
+            ("w1", "writer", ("db", "f1"), "lock"),
+            ("r1", "reader", ("db", "f1", "rec"), "lock"),
+            ("r2", "reader", ("db", "f2"), "lock"),
+        ],
+        table_factory=MultipleGranularityTable)
+    # Reading a record under a write-locked file is denied; a sibling file
+    # is fine (the reader only needs one granting node).
+    assert statuses == ["granted", "denied", "granted"]
+
+
+def test_concurrent_reader_and_writer_clients():
+    """Reader and writer processes run concurrently over the service."""
+    scheduler = Scheduler(seed=4)
+    service = ReplicatedLockService(scheduler, k=3)
+    service.expect_operations(4)
+    service.spawn_managers()
+
+    def reader_client():
+        s1 = yield from service.read_lock("r", "x")
+        s2 = yield from service.read_release("r", "x")
+        return (s1, s2)
+
+    def writer_client():
+        yield Delay(1)
+        s1 = yield from service.write_lock("w", "y")
+        s2 = yield from service.write_release("w", "y")
+        return (s1, s2)
+
+    scheduler.spawn("R", reader_client())
+    scheduler.spawn("W", writer_client())
+    result = scheduler.run()
+    assert result.results["R"] == ("granted", "released")
+    assert result.results["W"] == ("granted", "released")
+
+
+def test_manager_processes_report_performance_counts():
+    scheduler = Scheduler()
+    service = ReplicatedLockService(scheduler, k=2)
+    service.expect_operations(2)
+    service.spawn_managers()
+
+    def driver():
+        yield from service.read_lock("r", "a")
+        yield from service.read_release("r", "a")
+
+    scheduler.spawn("driver", driver())
+    result = scheduler.run()
+    # Each manager process participated in both performances then withdrew.
+    assert result.results[("manager-proc", 1)] == 2
+    assert result.results[("manager-proc", 2)] == 2
+
+
+def test_script_factory_validates_k():
+    from repro.errors import ScriptDefinitionError
+    with pytest.raises(ScriptDefinitionError):
+        make_lock_manager_script(0)
+
+
+def test_invalid_request_kind_fails():
+    from repro.errors import ProcessFailure
+    scheduler = Scheduler()
+    service = ReplicatedLockService(scheduler, k=1)
+    service.expect_operations(1)
+    service.spawn_managers()
+
+    def driver():
+        yield from service.request("reader", "r", "x", "frobnicate")
+
+    scheduler.spawn("driver", driver())
+    with pytest.raises(ProcessFailure):
+        scheduler.run()

@@ -1,0 +1,134 @@
+"""Tests for the lock-table abstract data types."""
+
+import pytest
+
+from repro.scripts import LockTable, MultipleGranularityTable
+
+
+class TestLockTable:
+    def test_multiple_readers_allowed(self):
+        table = LockTable()
+        assert table.try_acquire("x", "a", "read")
+        assert table.try_acquire("x", "b", "read")
+        assert table.readers("x") == {"a", "b"}
+
+    def test_writer_excludes_other_readers(self):
+        table = LockTable()
+        assert table.try_acquire("x", "a", "write")
+        assert not table.try_acquire("x", "b", "read")
+        assert table.try_acquire("y", "b", "read")  # other items unaffected
+
+    def test_readers_exclude_other_writer(self):
+        table = LockTable()
+        assert table.try_acquire("x", "a", "read")
+        assert not table.try_acquire("x", "b", "write")
+
+    def test_same_owner_may_upgrade(self):
+        table = LockTable()
+        assert table.try_acquire("x", "a", "read")
+        assert table.try_acquire("x", "a", "write")
+        assert table.writer("x") == "a"
+
+    def test_release_frees_both_kinds(self):
+        table = LockTable()
+        table.try_acquire("x", "a", "read")
+        table.try_acquire("x", "a", "write")
+        table.release("x", "a")
+        assert table.try_acquire("x", "b", "write")
+
+    def test_release_is_idempotent(self):
+        table = LockTable()
+        table.release("x", "nobody")  # no error
+        table.try_acquire("x", "a", "read")
+        table.release("x", "a")
+        table.release("x", "a")
+
+    def test_unknown_mode_rejected(self):
+        table = LockTable()
+        with pytest.raises(ValueError):
+            table.try_acquire("x", "a", "browse")
+
+    def test_held_items_lists_everything(self):
+        table = LockTable()
+        table.try_acquire("x", "a", "read")
+        table.try_acquire("y", "a", "write")
+        table.try_acquire("z", "b", "read")
+        assert table.held_items("a") == {"x", "y"}
+
+
+class TestMultipleGranularityTable:
+    def test_reads_on_siblings_coexist(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db", "f1"), "a", "read")
+        assert table.try_acquire(("db", "f2"), "b", "read")
+
+    def test_write_on_file_blocks_read_on_record_inside(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db", "f1"), "a", "write")
+        # b's read needs IS on ("db", "f1"), incompatible with a's X.
+        assert not table.try_acquire(("db", "f1", "r1"), "b", "read")
+
+    def test_read_on_record_blocks_write_on_enclosing_file(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db", "f1", "r1"), "a", "read")
+        # b's write takes X on ("db", "f1"): a holds IS there -> conflict.
+        assert not table.try_acquire(("db", "f1"), "b", "write")
+
+    def test_writes_on_disjoint_subtrees_coexist(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db", "f1", "r1"), "a", "write")
+        assert table.try_acquire(("db", "f2", "r9"), "b", "write")
+
+    def test_write_on_root_blocks_everything(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db",), "a", "write")
+        assert not table.try_acquire(("db", "f1"), "b", "read")
+        assert not table.try_acquire(("db", "f2", "r1"), "b", "write")
+
+    def test_release_restores_compatibility(self):
+        table = MultipleGranularityTable()
+        table.try_acquire(("db", "f1"), "a", "write")
+        table.release(("db", "f1"), "a")
+        assert table.try_acquire(("db", "f1", "r1"), "b", "read")
+
+    def test_release_decrements_nested_chains(self):
+        """Two read chains through the same ancestor need two releases."""
+        table = MultipleGranularityTable()
+        table.try_acquire(("db", "f1", "r1"), "a", "read")
+        table.try_acquire(("db", "f1", "r2"), "a", "read")
+        table.release(("db", "f1", "r1"), "a")
+        # a still holds IS on ("db", "f1") for the other record.
+        assert not table.try_acquire(("db", "f1"), "b", "write")
+        table.release(("db", "f1", "r2"), "a")
+        assert table.try_acquire(("db", "f1"), "b", "write")
+
+    def test_same_owner_read_and_write_coexist(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire(("db", "f1"), "a", "read")
+        assert table.try_acquire(("db", "f1"), "a", "write")
+
+    def test_scalar_item_treated_as_single_node_path(self):
+        table = MultipleGranularityTable()
+        assert table.try_acquire("x", "a", "write")
+        assert not table.try_acquire("x", "b", "read")
+
+    def test_release_without_holding_is_noop(self):
+        table = MultipleGranularityTable()
+        table.release(("db", "f1"), "ghost")
+
+    def test_unknown_mode_rejected(self):
+        table = MultipleGranularityTable()
+        with pytest.raises(ValueError):
+            table.try_acquire(("db",), "a", "skim")
+
+    def test_empty_path_rejected(self):
+        table = MultipleGranularityTable()
+        with pytest.raises(ValueError):
+            table.try_acquire((), "a", "read")
+
+    def test_modes_held_reports_counts(self):
+        table = MultipleGranularityTable()
+        table.try_acquire(("db", "f1", "r1"), "a", "read")
+        assert table.modes_held(("db", "f1", "r1"), "a") == {"S": 1}
+        assert table.modes_held(("db", "f1"), "a") == {"IS": 1}
+        assert table.modes_held(("db",), "a") == {"IS": 1}

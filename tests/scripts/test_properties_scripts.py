@@ -1,0 +1,145 @@
+"""Property-based tests for lock tables and buffering scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.runtime import Scheduler
+from repro.scripts import (LockTable, MultipleGranularityTable,
+                           make_bounded_buffer)
+
+ITEMS = ["x", "y", "z"]
+OWNERS = ["a", "b", "c"]
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    """Stateful test: the flat lock table never violates R/W exclusion."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+        # Our model of what should be held: item -> ("readers", set) and
+        # item -> writer.
+        self.readers: dict[str, set[str]] = {}
+        self.writer: dict[str, str] = {}
+
+    @rule(item=st.sampled_from(ITEMS), owner=st.sampled_from(OWNERS))
+    def acquire_read(self, item, owner):
+        granted = self.table.try_acquire(item, owner, "read")
+        holder = self.writer.get(item)
+        expected = holder is None or holder == owner
+        assert granted == expected
+        if granted:
+            self.readers.setdefault(item, set()).add(owner)
+
+    @rule(item=st.sampled_from(ITEMS), owner=st.sampled_from(OWNERS))
+    def acquire_write(self, item, owner):
+        granted = self.table.try_acquire(item, owner, "write")
+        holder = self.writer.get(item)
+        other_readers = self.readers.get(item, set()) - {owner}
+        expected = (holder is None or holder == owner) and not other_readers
+        assert granted == expected
+        if granted:
+            self.writer[item] = owner
+
+    @rule(item=st.sampled_from(ITEMS), owner=st.sampled_from(OWNERS))
+    def release(self, item, owner):
+        self.table.release(item, owner)
+        self.readers.get(item, set()).discard(owner)
+        if self.writer.get(item) == owner:
+            del self.writer[item]
+
+    @invariant()
+    def table_matches_model(self):
+        for item in ITEMS:
+            assert self.table.readers(item) == frozenset(
+                self.readers.get(item, set()))
+            assert self.table.writer(item) == self.writer.get(item)
+
+    @invariant()
+    def no_writer_with_foreign_readers(self):
+        for item in ITEMS:
+            holder = self.table.writer(item)
+            if holder is not None:
+                assert self.table.readers(item) <= {holder}
+
+
+TestLockTableMachine = LockTableMachine.TestCase
+
+
+PATHS = [("db",), ("db", "f1"), ("db", "f2"), ("db", "f1", "r1"),
+         ("db", "f1", "r2"), ("db", "f2", "r1")]
+
+
+def _is_prefix(shorter, longer):
+    return len(shorter) <= len(longer) and longer[:len(shorter)] == shorter
+
+
+def _overlapping(p1, p2):
+    return _is_prefix(p1, p2) or _is_prefix(p2, p1)
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(OWNERS), st.sampled_from(PATHS),
+              st.sampled_from(["read", "write"])),
+    min_size=1, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_granularity_grants_never_create_write_conflicts(ops):
+    """After any sequence of acquire attempts (no releases), granted write
+    chains never overlap another owner's granted chain."""
+    table = MultipleGranularityTable()
+    granted: list[tuple[str, tuple, str]] = []
+    for owner, path, mode in ops:
+        if table.try_acquire(path, owner, mode):
+            granted.append((owner, path, mode))
+    for o1, p1, m1 in granted:
+        for o2, p2, m2 in granted:
+            if o1 == o2:
+                continue
+            if "write" in (m1, m2) and _overlapping(p1, p2):
+                raise AssertionError(
+                    f"conflicting grants: {o1} {m1} {p1} vs {o2} {m2} {p2}")
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(OWNERS), st.sampled_from(PATHS),
+              st.sampled_from(["read", "write"])),
+    min_size=1, max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_granularity_release_restores_writability(ops):
+    """Releasing everything an owner acquired frees the whole tree."""
+    table = MultipleGranularityTable()
+    acquired: list[tuple[str, tuple]] = []
+    for owner, path, mode in ops:
+        if table.try_acquire(path, owner, mode):
+            acquired.append((owner, path))
+    for owner, path in reversed(acquired):
+        table.release(path, owner)
+        # A second release of the same chain must be a no-op, not an error.
+        table.release(path, owner)
+    assert table.try_acquire(("db",), "fresh-owner", "write")
+
+
+@given(items=st.lists(st.integers(), max_size=30),
+       capacity=st.integers(1, 5), seed=st.integers(0, 2**10))
+@settings(max_examples=50, deadline=None)
+def test_bounded_buffer_fifo_for_any_stream(items, capacity, seed):
+    script = make_bounded_buffer(capacity)
+    scheduler = Scheduler(seed=seed)
+    instance = script.instance(scheduler)
+
+    def producer():
+        yield from instance.enroll("producer", items=list(items))
+
+    def middle():
+        yield from instance.enroll("buffer")
+
+    def consumer():
+        out = yield from instance.enroll("consumer")
+        return out["received"]
+
+    scheduler.spawn("P", producer())
+    scheduler.spawn("B", middle())
+    scheduler.spawn("C", consumer())
+    result = scheduler.run()
+    assert result.results["C"] == list(items)

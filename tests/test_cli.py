@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.lang.figures import FIGURE3_STAR_BROADCAST
+
+
+def test_figures_lists_all(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "fig4" in out and "fig5" in out
+
+
+def test_show_prints_source(capsys):
+    assert main(["show", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "SCRIPT star_broadcast" in out
+    assert "ROLE sender" in out
+
+
+def test_check_valid_file(tmp_path, capsys):
+    path = tmp_path / "bc.script"
+    path.write_text(FIGURE3_STAR_BROADCAST)
+    assert main(["check", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "recipient[1..5]" in out
+
+
+def test_check_invalid_file(tmp_path, capsys):
+    path = tmp_path / "bad.script"
+    path.write_text("SCRIPT s; ROLE a (); BEGIN SEND x TO ghost END a; "
+                    "END s;")
+    assert main(["check", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "ghost" in err or "unknown" in err
+
+
+def test_format_roundtrips(tmp_path, capsys):
+    from repro.lang import parse_script
+
+    path = tmp_path / "bc.script"
+    path.write_text(FIGURE3_STAR_BROADCAST)
+    assert main(["format", str(path)]) == 0
+    printed = capsys.readouterr().out
+    assert parse_script(printed).name == "star_broadcast"
+
+
+def test_format_reports_parse_errors(tmp_path, capsys):
+    path = tmp_path / "bad.script"
+    path.write_text("SCRIPT ; nonsense")
+    assert main(["format", str(path)]) == 1
+    assert "expected" in capsys.readouterr().err
+
+
+def test_demo_broadcast(capsys):
+    assert main(["demo", "broadcast", "--n", "3",
+                 "--strategy", "pipeline"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("'demo'") == 3
+
+
+def test_demo_lock(capsys):
+    assert main(["demo", "lock"]) == 0
+    out = capsys.readouterr().out
+    assert "granted" in out
+    assert "denied" in out
+
+
+def test_demo_election(capsys):
+    assert main(["demo", "election", "--n", "4", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "leader 4" in out
+    assert "True" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_lint_clean_file(tmp_path, capsys):
+    path = tmp_path / "bc.script"
+    path.write_text(FIGURE3_STAR_BROADCAST)
+    assert main(["lint", str(path)]) == 0
+    assert "no communication warnings" in capsys.readouterr().out
+
+
+def test_lint_flags_orphan_send(tmp_path, capsys):
+    path = tmp_path / "orphan.script"
+    path.write_text(
+        "SCRIPT s; ROLE a (x : item); BEGIN SEND x TO b END a; "
+        "ROLE b (); BEGIN SKIP END b; END s;")
+    assert main(["lint", str(path)]) == 1
+    assert "never receives" in capsys.readouterr().out
+
+
+def test_module_entry_point_via_subprocess():
+    import subprocess
+    import sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "figures"],
+        capture_output=True, text=True, timeout=60)
+    assert completed.returncode == 0
+    assert "fig3" in completed.stdout

@@ -1,0 +1,109 @@
+"""Cross-substrate integration: scripts, Ada tasks and monitors coexist.
+
+Roles are logical continuations of *whatever* process enrolls — including
+an Ada task mid-rendezvous-loop, or a process that also uses monitors.
+These tests pin that compositionality.
+"""
+
+from repro.ada import AdaSystem
+from repro.core import Mode, Param, ScriptDef
+from repro.monitors import BoundedMailbox
+from repro.runtime import Delay, Scheduler
+from repro.scripts import make_star_broadcast
+
+
+def test_ada_tasks_can_enroll_in_scripts():
+    """An Ada server task enrolls in a broadcast between two accepts."""
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    script = make_star_broadcast(2)
+    instance = script.instance(scheduler)
+
+    def server(ctx):
+        # Serve one entry call, then participate in a broadcast, then
+        # serve another call carrying the broadcast value.
+        yield from ctx.accept_do("ping", lambda: "pong")
+        out = yield from instance.enroll(("recipient", 1))
+        yield from ctx.accept_do("fetch", lambda: out["data"])
+
+    def client(ctx):
+        first = yield from ctx.call("server", "ping")
+        second = yield from ctx.call("server", "fetch")
+        return (first, second)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="from-script")
+
+    def other_recipient():
+        yield from instance.enroll(("recipient", 2))
+
+    system.task("server", server)
+    system.task("client", client)
+    scheduler.spawn("T", transmitter())
+    scheduler.spawn("R2", other_recipient())
+    result = scheduler.run()
+    assert result.results["client"] == ("pong", "from-script")
+
+
+def test_role_bodies_may_use_monitors_and_effects():
+    """A role body that mixes monitor calls, delays and role rendezvous."""
+    box = BoundedMailbox(capacity=1)
+    script = ScriptDef("mixed")
+
+    @script.role("producer_role", params=[Param("item", Mode.IN)])
+    def producer_role(ctx, item):
+        yield Delay(3)
+        yield from box.put(item)            # monitor call inside a role
+        yield from ctx.send("consumer_role", "deposited")
+
+    @script.role("consumer_role", params=[Param("got", Mode.OUT)])
+    def consumer_role(ctx, got):
+        signal = yield from ctx.receive("producer_role")
+        assert signal == "deposited"
+        got.value = yield from box.get()
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def producer():
+        yield from instance.enroll("producer_role", item="crate")
+
+    def consumer():
+        out = yield from instance.enroll("consumer_role")
+        return out["got"]
+
+    scheduler.spawn("P", producer())
+    scheduler.spawn("C", consumer())
+    result = scheduler.run()
+    assert result.results["C"] == "crate"
+    assert result.time == 3.0
+
+
+def test_script_role_may_drive_ada_entry_calls():
+    """A role body calls an Ada server task's entry mid-performance."""
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    script = ScriptDef("ada_using")
+
+    @script.role("caller_role", params=[Param("answer", Mode.OUT)])
+    def caller_role(ctx, answer):
+        # The enrolling process is an Ada task: its TaskContext still
+        # works inside the role body via closure.
+        answer.value = yield from caller_ctx_holder["ctx"].call(
+            "oracle", "ask", 21)
+
+    caller_ctx_holder = {}
+
+    def oracle(ctx):
+        yield from ctx.accept_do("ask", lambda x: x * 2)
+
+    def caller_task(ctx):
+        caller_ctx_holder["ctx"] = ctx
+        instance = script.instance(scheduler)
+        out = yield from instance.enroll("caller_role")
+        return out["answer"]
+
+    system.task("oracle", oracle)
+    system.task("caller", caller_task)
+    result = scheduler.run()
+    assert result.results["caller"] == 42

@@ -1,0 +1,172 @@
+"""Cross-layer integration tests: lang + engine + net + verification.
+
+Each test here exercises a whole vertical slice of the system the way a
+downstream user would: compile a script from its Section III source, run it
+on a simulated network, and interrogate the trace with the verification
+layer.
+"""
+
+import pytest
+
+from repro.lang import compile_script
+from repro.lang.figures import (FIGURE4_PIPELINE_BROADCAST,
+                                FIGURE5_DATABASE)
+from repro.net import NetworkTransport, line
+from repro.runtime import EventKind, Scheduler
+from repro.verification import (Always, Atom, Eventually, Implies,
+                                check_all, check_broadcast_delivery,
+                                comm_counts_by_performance, evaluate,
+                                performance_spans, performances_in)
+
+
+def test_figure4_source_on_a_line_network():
+    """The pipeline broadcast, compiled from the paper's source, placed on
+    the line topology it is obviously meant for: one hop per stage."""
+    script = compile_script(FIGURE4_PIPELINE_BROADCAST)
+    topology = line(6, latency=2.0)
+    placement = {"T": ("n", 0)}
+    for i in range(1, 6):
+        placement[("R", i)] = ("n", i)
+    transport = NetworkTransport(topology, placement)
+    scheduler = Scheduler(seed=1, transport=transport)
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        yield from instance.enroll("sender", data="wavefront")
+
+    def listener(i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, 6):
+        scheduler.spawn(("R", i), listener(i))
+    result = scheduler.run()
+
+    # Delivery, structure, and scoping all verified from the one trace.
+    assert all(result.results[("R", i)] == "wavefront" for i in range(1, 6))
+    performance = performances_in(scheduler.tracer.events, instance.name)[0]
+    assert check_broadcast_delivery(scheduler.tracer, performance,
+                                    "wavefront", count=5) == 5
+    check_all(scheduler.tracer, instance.name)
+    # Five pipeline stages x one 2.0-latency hop each.
+    assert result.time == 10.0
+    assert transport.stats.messages == 5
+    assert transport.stats.total_latency == 10.0
+    # Every message travelled exactly one link.
+    assert transport.stats.max_latency == 2.0
+
+
+def test_figure5_source_workload_with_metrics_and_ltl():
+    """The lock manager from source, driven through three operations, with
+    spans, comm counts, and a response property checked on the trace."""
+    script = compile_script(FIGURE5_DATABASE)
+    scheduler = Scheduler(seed=3)
+    instance = script.instance(scheduler)
+    operations = [("reader", "lock"), ("writer", "lock"),
+                  ("reader", "release")]
+
+    def manager(i):
+        for _ in operations:
+            yield from instance.enroll(("manager", i))
+
+    def driver():
+        statuses = []
+        for role, request in operations:
+            out = yield from instance.enroll(
+                role, id="client", data="rec", request=request)
+            statuses.append(out["status"])
+        return statuses
+
+    for i in range(1, 4):
+        scheduler.spawn(f"M{i}", manager(i))
+    scheduler.spawn("driver", driver())
+    result = scheduler.run()
+    assert result.results["driver"] == ["granted", "granted", "released"]
+
+    # One performance per operation, trace-verified.
+    spans = performance_spans(scheduler.tracer, instance.name)
+    assert len(spans) == 3
+    report = check_all(scheduler.tracer, instance.name)
+    assert report["successive-activations"] == 3
+
+    # Every performance communicates (lock traffic + done messages).
+    counts = comm_counts_by_performance(scheduler.tracer)
+    for performance in performances_in(scheduler.tracer.events,
+                                       instance.name):
+        assert counts[performance] >= 3
+
+    # LTL response property: every performance start is answered by an end.
+    starts = Atom(lambda e: e.kind is EventKind.PERFORMANCE_START)
+    ends = Atom(lambda e: e.kind is EventKind.PERFORMANCE_END)
+    assert evaluate(Always(Implies(starts, Eventually(ends))),
+                    scheduler.tracer.events)
+
+
+def test_two_instances_two_networks_one_scheduler():
+    """Two script instances with different transports cannot exist on one
+    scheduler (one transport per run), but two instances on one transport
+    keep separate books per performance."""
+    from repro.scripts import make_star_broadcast
+
+    script = make_star_broadcast(2)
+    topology = line(3, latency=1.0)
+    placement = {"Ta": ("n", 0), ("Ra", 1): ("n", 1), ("Ra", 2): ("n", 2),
+                 "Tb": ("n", 2), ("Rb", 1): ("n", 1), ("Rb", 2): ("n", 0)}
+    transport = NetworkTransport(topology, placement)
+    scheduler = Scheduler(transport=transport)
+    alpha = script.instance(scheduler, name="alpha")
+    beta = script.instance(scheduler, name="beta")
+
+    def transmitter(instance, name, value):
+        yield from instance.enroll("sender", data=value)
+
+    def listener(instance, label, i):
+        out = yield from instance.enroll(("recipient", i))
+        return out["data"]
+
+    scheduler.spawn("Ta", transmitter(alpha, "Ta", "A"))
+    scheduler.spawn("Tb", transmitter(beta, "Tb", "B"))
+    for i in (1, 2):
+        scheduler.spawn(("Ra", i), listener(alpha, "Ra", i))
+        scheduler.spawn(("Rb", i), listener(beta, "Rb", i))
+    result = scheduler.run()
+    assert result.results[("Ra", 1)] == "A"
+    assert result.results[("Rb", 1)] == "B"
+    counts = comm_counts_by_performance(scheduler.tracer)
+    alpha_perf = performances_in(scheduler.tracer.events, "alpha")[0]
+    beta_perf = performances_in(scheduler.tracer.events, "beta")[0]
+    assert counts[alpha_perf] == 2
+    assert counts[beta_perf] == 2
+    check_all(scheduler.tracer, "alpha")
+    check_all(scheduler.tracer, "beta")
+
+
+def test_printed_source_runs_identically_to_original():
+    """format(parse(figure)) compiles to a behaviourally identical script."""
+    from repro.lang import format_program, parse_script
+
+    original = compile_script(FIGURE4_PIPELINE_BROADCAST)
+    printed = compile_script(
+        format_program(parse_script(FIGURE4_PIPELINE_BROADCAST)))
+
+    def run(script, seed):
+        scheduler = Scheduler(seed=seed)
+        instance = script.instance(scheduler)
+
+        def transmitter():
+            yield from instance.enroll("sender", data="x")
+
+        def listener(i):
+            out = yield from instance.enroll(("recipient", i))
+            return out["data"]
+
+        scheduler.spawn("T", transmitter())
+        for i in range(1, 6):
+            scheduler.spawn(("R", i), listener(i))
+        result = scheduler.run()
+        return (result.steps,
+                tuple(result.results[("R", i)] for i in range(1, 6)))
+
+    for seed in (0, 7):
+        assert run(original, seed) == run(printed, seed)

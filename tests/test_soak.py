@@ -1,0 +1,97 @@
+"""Soak tests: long runs must not leak aliases, offers, or pool entries."""
+
+from repro.runtime import Scheduler
+from repro.scripts import (ONE_READ_ALL_WRITE, ReplicatedLockService,
+                           make_star_broadcast)
+from repro.verification import check_all
+
+
+def test_hundred_broadcast_performances_leave_no_residue():
+    n = 10
+    rounds = 100
+    script = make_star_broadcast(n)
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        for r in range(rounds):
+            yield from instance.enroll("sender", data=r)
+
+    def listener(i):
+        last = None
+        for _ in range(rounds):
+            out = yield from instance.enroll(("recipient", i))
+            last = out["data"]
+        return last
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), listener(i))
+    result = scheduler.run()
+    assert all(result.results[("R", i)] == rounds - 1
+               for i in range(1, n + 1))
+    assert instance.performance_count == rounds
+    # No residue: every role alias dropped, every request consumed, the
+    # rendezvous board drained, no condition waiters left.
+    assert not scheduler.alias_owner
+    assert len(scheduler._board) == 0
+    assert not scheduler._waiters
+    assert instance.pending_count == 0
+    # Invariants hold over the entire 100-performance trace.
+    report = check_all(scheduler.tracer, instance.name)
+    assert report["successive-activations"] == rounds
+
+
+def test_long_lock_workload_leaves_no_residue():
+    scheduler = Scheduler(seed=11)
+    service = ReplicatedLockService(scheduler, k=3,
+                                    strategy=ONE_READ_ALL_WRITE)
+    operations = 60
+    service.expect_operations(operations)
+    service.spawn_managers()
+
+    def exact_driver():
+        statuses = []
+        for op_index in range(operations):
+            role = "reader" if op_index % 3 else "writer"
+            op = "release" if op_index % 5 == 4 else "lock"
+            status = yield from service.request(
+                role, f"{role}-owner", f"item{op_index % 4}", op)
+            statuses.append(status)
+        return statuses
+
+    scheduler.spawn("driver", exact_driver())
+    result = scheduler.run()
+    assert len(result.results["driver"]) == operations
+    assert not scheduler.alias_owner
+    assert service.instance.pending_count == 0
+    report = check_all(scheduler.tracer, service.instance.name)
+    assert report["successive-activations"] == operations
+
+
+def test_trace_volume_scales_linearly():
+    """Trace growth per performance is constant (no quadratic blowup)."""
+    def run(rounds):
+        script = make_star_broadcast(3)
+        scheduler = Scheduler()
+        instance = script.instance(scheduler)
+
+        def transmitter():
+            for r in range(rounds):
+                yield from instance.enroll("sender", data=r)
+
+        def listener(i):
+            for _ in range(rounds):
+                yield from instance.enroll(("recipient", i))
+
+        scheduler.spawn("T", transmitter())
+        for i in range(1, 4):
+            scheduler.spawn(("R", i), listener(i))
+        scheduler.run()
+        return len(scheduler.tracer)
+
+    small = run(10)
+    large = run(40)
+    per_round_small = small / 10
+    per_round_large = large / 40
+    assert abs(per_round_small - per_round_large) < 2

@@ -1,0 +1,168 @@
+"""Tests for the script-to-Ada translation (Figures 9-11)."""
+
+import pytest
+
+from repro.ada import AdaSystem
+from repro.errors import AdaError, ProcessFailure
+from repro.runtime import Delay, GetTime, Scheduler
+from repro.translation import AdaTranslatedScript, make_ada_broadcast
+
+
+def build(n, performances=1):
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    script = make_ada_broadcast(system, n)
+    script.install(performances=performances)
+    return scheduler, system, script
+
+
+def test_translated_broadcast_delivers_to_all():
+    scheduler, system, script = build(5)
+
+    def sender_task(ctx):
+        yield from script.enroll(ctx, "sender", data="payload")
+
+    def recipient_task(i):
+        def body(ctx):
+            out = yield from script.enroll(ctx, f"r{i}")
+            return out["data"]
+        return body
+
+    system.task("S", sender_task)
+    for i in range(1, 6):
+        system.task(f"T{i}", recipient_task(i))
+    result = scheduler.run()
+    for i in range(1, 6):
+        assert result.results[f"T{i}"] == "payload"
+
+
+def test_process_count_grows_to_n_plus_m_plus_1():
+    """The paper's first 'unfortunate consequence': n -> n + m + 1."""
+    scheduler, system, script = build(4)
+    n_enrollers = 5  # sender + 4 recipients
+    m_roles = 5
+
+    def sender_task(ctx):
+        yield from script.enroll(ctx, "sender", data=1)
+
+    def recipient_task(i):
+        def body(ctx):
+            yield from script.enroll(ctx, f"r{i}")
+        return body
+
+    system.task("S", sender_task)
+    for i in range(1, 5):
+        system.task(f"T{i}", recipient_task(i))
+    assert script.process_overhead == m_roles + 1
+    assert len(scheduler.processes) == n_enrollers + m_roles + 1
+    scheduler.run()
+
+
+def test_multiple_performances_are_serialised():
+    scheduler, system, script = build(2, performances=3)
+
+    def sender_task(ctx):
+        for round_number in range(3):
+            yield from script.enroll(ctx, "sender", data=round_number)
+
+    def recipient_task(i):
+        def body(ctx):
+            values = []
+            for _ in range(3):
+                out = yield from script.enroll(ctx, f"r{i}")
+                values.append(out["data"])
+            return values
+        return body
+
+    system.task("S", sender_task)
+    system.task("T1", recipient_task(1))
+    system.task("T2", recipient_task(2))
+    result = scheduler.run()
+    assert result.results["T1"] == [0, 1, 2]
+    assert result.results["T2"] == [0, 1, 2]
+
+
+def test_supervisor_blocks_next_performance_until_all_finish():
+    """An early re-enroller waits for the slow role of performance 1."""
+    scheduler, system, script = build(2, performances=2)
+    second_start = []
+
+    def sender_task(ctx):
+        yield from script.enroll(ctx, "sender", data="a")
+        yield from script.enroll(ctx, "sender", data="b")
+        second_start.append((yield GetTime()))
+
+    def quick_recipient(ctx):
+        for _ in range(2):
+            yield from script.enroll(ctx, "r1")
+
+    def slow_recipient(ctx):
+        yield from script.enroll(ctx, "r2")
+        yield Delay(40)
+        yield from script.enroll(ctx, "r2")
+
+    system.task("S", sender_task)
+    system.task("T1", quick_recipient)
+    system.task("T2", slow_recipient)
+    scheduler.run()
+    # The sender's second enrollment could not complete before t=40,
+    # because r2's stop for performance 2 happens after the delay.
+    assert second_start == [40.0]
+
+
+def test_enroll_unknown_role_rejected():
+    scheduler, system, script = build(2)
+
+    def bad_task(ctx):
+        yield from script.enroll(ctx, "conductor")
+
+    system.task("bad", bad_task)
+    with pytest.raises(ProcessFailure) as excinfo:
+        scheduler.run()
+    assert isinstance(excinfo.value.original, AdaError)
+
+
+def test_enroll_before_install_rejected():
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    script = make_ada_broadcast(system, 2)
+
+    def eager_task(ctx):
+        yield from script.enroll(ctx, "sender", data=1)
+
+    system.task("eager", eager_task)
+    with pytest.raises(ProcessFailure) as excinfo:
+        scheduler.run()
+    assert isinstance(excinfo.value.original, AdaError)
+
+
+def test_double_install_rejected():
+    scheduler, system, script = build(2)
+    with pytest.raises(AdaError):
+        script.install(performances=1)
+
+
+def test_empty_role_set_rejected():
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    with pytest.raises(AdaError):
+        AdaTranslatedScript(system, "s", {})
+
+
+def test_out_parameters_flow_through_stop_entry():
+    """Figure 10: OUT values travel back via the stop entry rendezvous."""
+    scheduler, system, script = build(1)
+
+    def sender_task(ctx):
+        out = yield from script.enroll(ctx, "sender", data="thing")
+        return out
+
+    def recipient_task(ctx):
+        out = yield from script.enroll(ctx, "r1")
+        return out
+
+    system.task("S", sender_task)
+    system.task("T", recipient_task)
+    result = scheduler.run()
+    assert result.results["S"] == {}
+    assert result.results["T"] == {"data": "thing"}

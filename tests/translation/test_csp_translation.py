@@ -1,0 +1,188 @@
+"""Tests for the script-to-CSP translation (Figure 7)."""
+
+import pytest
+
+from repro.csp import parallel
+from repro.errors import CSPError, DeadlockError, ProcessFailure
+from repro.runtime import Delay, GetTime, Scheduler
+from repro.translation import CSPTranslatedScript, make_csp_broadcast
+
+
+def broadcast_binding(n):
+    """The WITH-clause binding used by every participant."""
+    binding = {"transmitter": "p"}
+    for i in range(1, n + 1):
+        binding[f"recipient{i}"] = f"q{i}"
+    return binding
+
+
+def run_translated_broadcast(n, performances=1, seed=0):
+    script = make_csp_broadcast(n)
+    binding = broadcast_binding(n)
+
+    def transmitter_process():
+        for round_number in range(performances):
+            yield from script.enroll("transmitter", binding,
+                                     x=("msg", round_number))
+
+    def recipient_process(i):
+        values = []
+        for _ in range(performances):
+            value = yield from script.enroll(f"recipient{i}", binding)
+            values.append(value)
+        return values
+
+    processes = {
+        script.supervisor_name: script.supervisor_body(performances),
+        "p": transmitter_process(),
+    }
+    for i in range(1, n + 1):
+        processes[f"q{i}"] = recipient_process(i)
+    return parallel(processes, seed=seed)
+
+
+def test_translated_broadcast_delivers_to_all():
+    result = run_translated_broadcast(5)
+    for i in range(1, 6):
+        assert result.results[f"q{i}"] == [("msg", 0)]
+
+
+def test_translated_broadcast_multiple_performances():
+    result = run_translated_broadcast(3, performances=4)
+    for i in range(1, 4):
+        assert result.results[f"q{i}"] == [("msg", r) for r in range(4)]
+
+
+def test_supervisor_enforces_successive_activations():
+    """A process re-enrolling early blocks until the round completes."""
+    script = make_csp_broadcast(1)
+    binding = {"transmitter": "p", "recipient1": "q"}
+    times = []
+
+    def transmitter_process():
+        yield from script.enroll("transmitter", binding, x=1)
+        yield from script.enroll("transmitter", binding, x=2)
+        times.append((yield GetTime()))
+
+    def recipient_process():
+        first = yield from script.enroll("recipient1", binding)
+        yield Delay(30)  # hold up the end of performance 1? No: enroll ended.
+        second = yield from script.enroll("recipient1", binding)
+        return (first, second)
+
+    processes = {
+        script.supervisor_name: script.supervisor_body(2),
+        "p": transmitter_process(),
+        "q": recipient_process(),
+    }
+    result = parallel(processes)
+    assert result.results["q"] == (1, 2)
+    # The transmitter's second enrollment could not finish before the
+    # recipient re-enrolled at t=30.
+    assert times == [30.0]
+
+
+def test_enrollment_with_incomplete_binding_fails():
+    script = make_csp_broadcast(2)
+
+    def transmitter_process():
+        yield from script.enroll("transmitter", {"transmitter": "p"}, x=1)
+
+    processes = {
+        script.supervisor_name: script.supervisor_body(1),
+        "p": transmitter_process(),
+    }
+    with pytest.raises(ProcessFailure) as excinfo:
+        parallel(processes)
+    assert isinstance(excinfo.value.original, CSPError)
+
+
+def test_unknown_role_rejected():
+    script = make_csp_broadcast(2)
+
+    def bad():
+        yield from script.enroll("conductor", {}, x=1)
+
+    with pytest.raises(ProcessFailure) as excinfo:
+        parallel({script.supervisor_name: script.supervisor_body(1),
+                  "bad": bad()})
+    assert isinstance(excinfo.value.original, CSPError)
+
+
+def test_missing_supervisor_deadlocks():
+    """Without p_s, the start message has no partner: the paper's
+    translation depends on the supervisor process."""
+    script = make_csp_broadcast(1)
+    binding = {"transmitter": "p", "recipient1": "q"}
+
+    def transmitter_process():
+        yield from script.enroll("transmitter", binding, x=1)
+
+    def recipient_process():
+        yield from script.enroll("recipient1", binding)
+
+    with pytest.raises(DeadlockError):
+        parallel({"p": transmitter_process(), "q": recipient_process()})
+
+
+def test_translated_traffic_does_not_collide_with_plain_traffic():
+    """Rule 2c: script-tagged messages never match untagged ones."""
+    script = make_csp_broadcast(1)
+    binding = {"transmitter": "p", "recipient1": "q"}
+
+    def transmitter_process():
+        yield from script.enroll("transmitter", binding, x="scripted")
+
+    def recipient_process():
+        scripted = yield from script.enroll("recipient1", binding)
+        # Plain (untagged) message exchanged after the performance:
+        from repro.csp import inp
+        plain = yield inp("r")
+        return (scripted, plain)
+
+    def outsider():
+        from repro.csp import out
+        yield out("q", "plain")
+
+    result = parallel({
+        script.supervisor_name: script.supervisor_body(1),
+        "p": transmitter_process(),
+        "q": recipient_process(),
+        "r": outsider(),
+    })
+    assert result.results["q"] == ("scripted", "plain")
+
+
+def test_nondeterministic_send_order_with_seed():
+    orders = set()
+    for seed in range(8):
+        script = make_csp_broadcast(3)
+        binding = broadcast_binding(3)
+        scheduler = Scheduler(seed=seed)
+
+        def transmitter_process():
+            yield Delay(1)  # let all recipients post their receives
+            yield from script.enroll("transmitter", binding, x="v")
+
+        def recipient_process(i):
+            value = yield from script.enroll(f"recipient{i}", binding)
+            return value
+
+        processes = {
+            script.supervisor_name: script.supervisor_body(1),
+            "p": transmitter_process(),
+        }
+        for i in range(1, 4):
+            processes[f"q{i}"] = recipient_process(i)
+        result = parallel(processes, scheduler=scheduler)
+        from repro.runtime import EventKind
+        sends = tuple(e.get("receiver")
+                      for e in scheduler.tracer.of_kind(EventKind.COMM)
+                      if e.process == "p" and e.get("tag") == "broadcast")
+        orders.add(sends)
+    assert len(orders) > 1
+
+
+def test_empty_role_set_rejected():
+    with pytest.raises(CSPError):
+        CSPTranslatedScript("s", {})

@@ -1,0 +1,140 @@
+"""The translation frameworks are general, not broadcast-only.
+
+Section IV gives translation *rules*, with broadcast as the worked example.
+These tests instantiate both frameworks on a different script — a reduction
+(workers submit values, an accumulator returns the total) — exercising
+multi-message bodies, entry parameters and out-parameters.
+"""
+
+from repro.ada import AdaSystem
+from repro.csp import parallel
+from repro.runtime import Scheduler
+from repro.translation import AdaTranslatedScript, CSPTranslatedScript
+
+
+def make_csp_reduction(n):
+    """CSP-translated reduction over n workers."""
+    worker_roles = [f"worker{i}" for i in range(1, n + 1)]
+
+    def accumulator(io, **_params):
+        total = 0
+        for _ in range(n):
+            index, value = yield from io.select(
+                [("recv", role) for role in worker_roles])
+            total += value
+        for role in worker_roles:
+            yield from io.send(role, total)
+        return total
+
+    def worker(io, value):
+        yield from io.send("accumulator", value)
+        total = yield from io.receive("accumulator")
+        return total
+
+    roles = {"accumulator": accumulator}
+    for role in worker_roles:
+        roles[role] = worker
+    return CSPTranslatedScript("reduce", roles)
+
+
+def test_csp_translated_reduction():
+    n = 4
+    script = make_csp_reduction(n)
+    binding = {"accumulator": "acc"}
+    binding.update({f"worker{i}": f"w{i}" for i in range(1, n + 1)})
+
+    def accumulator_process():
+        total = yield from script.enroll("accumulator", binding)
+        return total
+
+    def worker_process(i):
+        total = yield from script.enroll(f"worker{i}", binding, value=i * 10)
+        return total
+
+    processes = {script.supervisor_name: script.supervisor_body(1),
+                 "acc": accumulator_process()}
+    for i in range(1, n + 1):
+        processes[f"w{i}"] = worker_process(i)
+    result = parallel(processes, seed=5)
+    expected = 10 + 20 + 30 + 40
+    assert result.results["acc"] == expected
+    for i in range(1, n + 1):
+        assert result.results[f"w{i}"] == expected
+
+
+def make_ada_reduction(system, n):
+    """Ada-translated reduction: workers call the accumulator's entries."""
+
+    def accumulator(io, params):
+        total = 0
+        for _ in range(n):
+            call = yield from io.accept("submit")
+            total += call.args[0]
+            call.complete()
+        for _ in range(n):
+            yield from io.accept_do("collect", lambda t=total: t)
+        return {"total": total}
+
+    def worker(io, params):
+        yield from io.call("accumulator", "submit", params["value"])
+        total = yield from io.call("accumulator", "collect")
+        return {"total": total}
+
+    roles = {"accumulator": accumulator}
+    for i in range(1, n + 1):
+        roles[f"worker{i}"] = worker
+    return AdaTranslatedScript(system, "reduce", roles)
+
+
+def test_ada_translated_reduction():
+    n = 3
+    scheduler = Scheduler(seed=2)
+    system = AdaSystem(scheduler)
+    script = make_ada_reduction(system, n)
+    script.install(performances=1)
+
+    def accumulator_task(ctx):
+        out = yield from script.enroll(ctx, "accumulator")
+        return out["total"]
+
+    def worker_task(i):
+        def body(ctx):
+            out = yield from script.enroll(ctx, f"worker{i}", value=i)
+            return out["total"]
+        return body
+
+    system.task("ACC", accumulator_task)
+    for i in range(1, n + 1):
+        system.task(f"W{i}", worker_task(i))
+    result = scheduler.run()
+    assert result.results["ACC"] == 6
+    assert all(result.results[f"W{i}"] == 6 for i in range(1, n + 1))
+
+
+def test_ada_reduction_multiple_performances():
+    n = 2
+    scheduler = Scheduler()
+    system = AdaSystem(scheduler)
+    script = make_ada_reduction(system, n)
+    script.install(performances=3)
+
+    def accumulator_task(ctx):
+        totals = []
+        for _ in range(3):
+            out = yield from script.enroll(ctx, "accumulator")
+            totals.append(out["total"])
+        return totals
+
+    def worker_task(i):
+        def body(ctx):
+            for round_number in range(3):
+                yield from script.enroll(ctx, f"worker{i}",
+                                         value=i * (round_number + 1))
+        return body
+
+    system.task("ACC", accumulator_task)
+    for i in range(1, n + 1):
+        system.task(f"W{i}", worker_task(i))
+    result = scheduler.run()
+    # Round r: workers submit 1*(r+1) and 2*(r+1).
+    assert result.results["ACC"] == [3, 6, 9]

@@ -1,0 +1,113 @@
+"""Tests for finite-trace LTL evaluation."""
+
+from repro.runtime import EventKind, Tracer
+from repro.verification import (Always, And, Atom, Eventually, Implies, Next,
+                                Not, Or, Until, WeakNext, evaluate)
+
+
+def make_trace(kinds):
+    tracer = Tracer()
+    for kind in kinds:
+        tracer.emit(0, kind, "p")
+    return tracer.events
+
+
+SPAWN = Atom(lambda e: e.kind is EventKind.SPAWN, "spawn")
+DONE = Atom(lambda e: e.kind is EventKind.PROC_DONE, "done")
+COMM = Atom(lambda e: e.kind is EventKind.COMM, "comm")
+
+
+def test_atom_on_first_event():
+    events = make_trace([EventKind.SPAWN, EventKind.PROC_DONE])
+    assert evaluate(SPAWN, events)
+    assert not evaluate(DONE, events)
+
+
+def test_atom_on_empty_trace_is_false():
+    assert not evaluate(SPAWN, [])
+
+
+def test_not_and_or():
+    events = make_trace([EventKind.SPAWN])
+    assert evaluate(Not(DONE), events)
+    assert evaluate(And(SPAWN, Not(DONE)), events)
+    assert evaluate(Or(DONE, SPAWN), events)
+    assert not evaluate(And(SPAWN, DONE), events)
+
+
+def test_implies():
+    events = make_trace([EventKind.SPAWN])
+    assert evaluate(Implies(DONE, SPAWN), events)   # antecedent false
+    assert evaluate(Implies(SPAWN, SPAWN), events)
+    assert not evaluate(Implies(SPAWN, DONE), events)
+
+
+def test_strong_next_requires_successor():
+    events = make_trace([EventKind.SPAWN, EventKind.PROC_DONE])
+    assert evaluate(Next(DONE), events)
+    assert not evaluate(Next(DONE), events, position=1)  # end of trace
+
+
+def test_weak_next_succeeds_at_end():
+    events = make_trace([EventKind.SPAWN])
+    assert evaluate(WeakNext(DONE), events)  # no successor: weakly true
+    assert not evaluate(Next(DONE), events)
+
+
+def test_always_and_eventually():
+    events = make_trace([EventKind.COMM, EventKind.COMM,
+                         EventKind.PROC_DONE])
+    assert evaluate(Eventually(DONE), events)
+    assert not evaluate(Always(COMM), events)
+    assert evaluate(Always(Or(COMM, DONE)), events)
+
+
+def test_always_on_empty_suffix_is_true():
+    events = make_trace([EventKind.SPAWN])
+    assert evaluate(Always(DONE), events, position=1)
+
+
+def test_until_basic():
+    events = make_trace([EventKind.COMM, EventKind.COMM,
+                         EventKind.PROC_DONE])
+    assert evaluate(Until(COMM, DONE), events)
+
+
+def test_until_fails_when_left_breaks_first():
+    events = make_trace([EventKind.COMM, EventKind.SPAWN,
+                         EventKind.PROC_DONE])
+    assert not evaluate(Until(COMM, DONE), events)
+    # ... but holds if right fires before the break.
+    events2 = make_trace([EventKind.COMM, EventKind.PROC_DONE,
+                          EventKind.SPAWN])
+    assert evaluate(Until(COMM, DONE), events2)
+
+
+def test_until_requires_right_to_eventually_hold():
+    events = make_trace([EventKind.COMM, EventKind.COMM])
+    assert not evaluate(Until(COMM, DONE), events)
+
+
+def test_response_property_on_real_trace():
+    """Every performance start is eventually followed by its end."""
+    from repro.scripts import run_broadcast
+    from repro.runtime import Scheduler
+
+    scheduler = Scheduler()
+    run_broadcast(4, "star", scheduler=scheduler)
+    starts = Atom(lambda e: e.kind is EventKind.PERFORMANCE_START)
+    ends = Atom(lambda e: e.kind is EventKind.PERFORMANCE_END)
+    assert evaluate(Always(Implies(starts, Eventually(ends))),
+                    scheduler.tracer.events)
+
+
+def test_precedence_property_on_real_trace():
+    """No COMM event precedes the first performance start."""
+    from repro.scripts import run_broadcast
+    from repro.runtime import Scheduler
+
+    scheduler = Scheduler()
+    run_broadcast(3, "star", scheduler=scheduler)
+    comm = Atom(lambda e: e.kind is EventKind.COMM)
+    start = Atom(lambda e: e.kind is EventKind.PERFORMANCE_START)
+    assert evaluate(Until(Not(comm), start), scheduler.tracer.events)

@@ -1,0 +1,111 @@
+"""Tests for the trace metrics helpers."""
+
+from repro.runtime import Delay, Scheduler
+from repro.scripts import make_broadcast
+from repro.verification import (comm_counts_by_performance,
+                                performance_spans, performances_in,
+                                role_durations, time_in_script)
+
+
+def run_star_with_delays(n=3, rounds=1, body_delay=0.0, stagger=0.0):
+    from repro.core import Mode, Param, ScriptDef
+
+    script = ScriptDef("metrics_bc")
+
+    @script.role("sender", params=[Param("data", Mode.IN)])
+    def sender(ctx, data):
+        if body_delay:
+            yield Delay(body_delay)
+        for i in range(1, n + 1):
+            yield from ctx.send(("recipient", i), data)
+
+    @script.role_family("recipient", range(1, n + 1),
+                        params=[Param("data", Mode.OUT)])
+    def recipient(ctx, data):
+        data.value = yield from ctx.receive("sender")
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def transmitter():
+        for r in range(rounds):
+            yield from instance.enroll("sender", data=r)
+
+    def listener(i):
+        yield Delay(stagger * i)
+        for _ in range(rounds):
+            yield from instance.enroll(("recipient", i))
+
+    scheduler.spawn("T", transmitter())
+    for i in range(1, n + 1):
+        scheduler.spawn(("R", i), listener(i))
+    scheduler.run()
+    return scheduler, instance
+
+
+def test_performance_spans_cover_rounds():
+    scheduler, instance = run_star_with_delays(rounds=3, body_delay=5)
+    spans = performance_spans(scheduler.tracer, instance.name)
+    assert len(spans) == 3
+    ordered = [spans[p] for p in performances_in(scheduler.tracer.events,
+                                                 instance.name)]
+    # Rounds are serialized and each takes 5 units of sender work.
+    for index, (start, end) in enumerate(ordered):
+        assert end - start == 5.0
+        assert start == 5.0 * index
+
+
+def test_comm_counts_by_performance():
+    scheduler, instance = run_star_with_delays(n=4, rounds=2)
+    counts = comm_counts_by_performance(scheduler.tracer)
+    ids = performances_in(scheduler.tracer.events, instance.name)
+    assert [counts[p] for p in ids] == [4, 4]
+
+
+def test_role_durations_reflect_body_work():
+    scheduler, instance = run_star_with_delays(n=2, body_delay=7)
+    durations = role_durations(scheduler.tracer, instance.name)
+    performance = performances_in(scheduler.tracer.events, instance.name)[0]
+    assert durations[(performance, "sender")] == 7.0
+    assert durations[(performance, ("recipient", 1))] == 7.0
+
+
+def test_time_in_script_includes_enrollment_wait():
+    scheduler, instance = run_star_with_delays(n=2, stagger=10)
+    spans = time_in_script(scheduler.tracer, instance)
+    # The sender requested at t=0 and was freed when the last recipient
+    # (t=20) completed the delayed-termination performance.
+    assert spans["T"] == 20.0
+    assert spans[("R", 2)] == 0.0
+
+
+def test_time_in_script_ignores_withdrawn_requests():
+    from repro.core import Mode, Param, ScriptDef
+
+    script = ScriptDef("w")
+
+    @script.role("a")
+    def a(ctx):
+        yield from ()
+
+    @script.role("b")
+    def b(ctx):
+        yield from ()
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+    flag = {"stop": False}
+
+    def quitter():
+        yield from instance.enroll("a", withdraw_when=lambda: flag["stop"])
+
+    def switch():
+        yield Delay(30)
+        flag["stop"] = True
+        yield Delay(0)
+
+    scheduler.spawn("Q", quitter())
+    scheduler.spawn("S", switch())
+    scheduler.run()
+    spans = time_in_script(scheduler.tracer, instance)
+    assert "Q" not in spans

@@ -1,0 +1,106 @@
+"""Property-based tests for LTL: algebraic laws on random traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import EventKind, Tracer
+from repro.verification import (Always, And, Atom, Eventually, Implies, Next,
+                                Not, Or, Until, WeakNext, evaluate)
+
+KINDS = [EventKind.SPAWN, EventKind.COMM, EventKind.PROC_DONE]
+
+
+def make_events(kinds):
+    tracer = Tracer()
+    for kind in kinds:
+        tracer.emit(0, kind, "p")
+    return tracer.events
+
+
+traces = st.lists(st.sampled_from(KINDS), max_size=12).map(make_events)
+
+P = Atom(lambda e: e.kind is EventKind.COMM, "comm")
+Q = Atom(lambda e: e.kind is EventKind.PROC_DONE, "done")
+
+
+@given(events=traces, position=st.integers(0, 12))
+@settings(max_examples=200, deadline=None)
+def test_always_eventually_duality(events, position):
+    """Always(p) == Not(Eventually(Not(p)))."""
+    left = evaluate(Always(P), events, position)
+    right = evaluate(Not(Eventually(Not(P))), events, position)
+    assert left == right
+
+
+@given(events=traces, position=st.integers(0, 12))
+@settings(max_examples=200, deadline=None)
+def test_next_weaknext_duality(events, position):
+    """WeakNext(p) == Not(Next(Not(p)))."""
+    left = evaluate(WeakNext(P), events, position)
+    right = evaluate(Not(Next(Not(P))), events, position)
+    assert left == right
+
+
+@given(events=traces)
+@settings(max_examples=200, deadline=None)
+def test_eventually_is_true_until(events):
+    """Eventually(p) == (true Until p)."""
+    true = Atom(lambda e: True, "true")
+    assert evaluate(Eventually(P), events) == \
+        evaluate(Until(true, P), events)
+
+
+@given(events=traces)
+@settings(max_examples=200, deadline=None)
+def test_until_unrolling(events):
+    """p U q == q or (p and Next(p U q)) on nonempty traces."""
+    if not events:
+        return
+    direct = evaluate(Until(P, Q), events)
+    unrolled = evaluate(Or(Q, And(P, Next(Until(P, Q)))), events)
+    assert direct == unrolled
+
+
+@given(events=traces)
+@settings(max_examples=200, deadline=None)
+def test_always_distributes_over_and(events):
+    left = evaluate(Always(And(P, Q)), events)
+    right = evaluate(And(Always(P), Always(Q)), events)
+    assert left == right
+
+
+@given(events=traces)
+@settings(max_examples=200, deadline=None)
+def test_eventually_distributes_over_or(events):
+    left = evaluate(Eventually(Or(P, Q)), events)
+    right = evaluate(Or(Eventually(P), Eventually(Q)), events)
+    assert left == right
+
+
+@given(events=traces)
+@settings(max_examples=200, deadline=None)
+def test_implies_is_material(events):
+    assert evaluate(Implies(P, Q), events) == \
+        evaluate(Or(Not(P), Q), events)
+
+
+@given(events=traces)
+@settings(max_examples=100, deadline=None)
+def test_brute_force_agreement_for_always(events):
+    """Cross-check Always against an explicit suffix enumeration."""
+    expected = all(e.kind is EventKind.COMM for e in events)
+    assert evaluate(Always(P), events) == expected
+
+
+@given(events=traces)
+@settings(max_examples=100, deadline=None)
+def test_brute_force_agreement_for_until(events):
+    def brute(position):
+        for i in range(position, len(events)):
+            if events[i].kind is EventKind.PROC_DONE:
+                return True
+            if events[i].kind is not EventKind.COMM:
+                return False
+        return False
+
+    assert evaluate(Until(P, Q), events) == brute(0)

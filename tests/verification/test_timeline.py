@@ -1,0 +1,85 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.core import ScriptDef
+from repro.runtime import Delay, Scheduler
+from repro.verification import render_timeline
+
+
+def run_two_performances():
+    script = ScriptDef("tl")
+
+    @script.role("a")
+    def a(ctx):
+        yield Delay(5)
+
+    @script.role("b")
+    def b(ctx):
+        yield Delay(10)
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def enroller(role, wait=0.0):
+        yield Delay(wait)
+        yield from instance.enroll(role)
+
+    scheduler.spawn("A", enroller("a"))
+    scheduler.spawn("B", enroller("b"))
+    scheduler.spawn("A2", enroller("a", 12))
+    scheduler.spawn("B2", enroller("b", 12))
+    scheduler.run()
+    return scheduler, instance
+
+
+def test_timeline_lists_performances_and_roles():
+    scheduler, instance = run_two_performances()
+    text = render_timeline(scheduler.tracer, instance.name)
+    lines = text.splitlines()
+    assert lines[0].startswith(f"timeline of {instance.name}")
+    assert sum(1 for line in lines if "/p1" in line) == 1
+    assert sum(1 for line in lines if "/p2" in line) == 1
+    assert sum(1 for line in lines if "'a'" in line) == 2
+    assert sum(1 for line in lines if "'b'" in line) == 2
+
+
+def test_timeline_bars_respect_ordering():
+    """Performance 2's bar starts strictly after performance 1's."""
+    scheduler, instance = run_two_performances()
+    text = render_timeline(scheduler.tracer, instance.name, width=40)
+    p1_line = next(l for l in text.splitlines() if "/p1" in l)
+    p2_line = next(l for l in text.splitlines() if "/p2" in l)
+    p1_start = p1_line.index("[")
+    p2_start = p2_line.index("[")
+    assert p2_start > p1_start
+
+
+def test_timeline_handles_empty_trace():
+    scheduler = Scheduler()
+    text = render_timeline(scheduler.tracer, "nothing")
+    assert "no completed performances" in text
+
+
+def test_instantaneous_roles_render_as_tick():
+    script = ScriptDef("quick")
+
+    @script.role("a")
+    def a(ctx):
+        yield from ()
+
+    @script.role("slow")
+    def slow(ctx):
+        yield Delay(100)
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def enroller(role):
+        yield from instance.enroll(role)
+
+    scheduler.spawn("A", enroller("a"))
+    scheduler.spawn("S", enroller("slow"))
+    scheduler.run()
+    text = render_timeline(scheduler.tracer, instance.name)
+    a_line = next(l for l in text.splitlines() if "'a'" in l)
+    assert "|" in a_line
+    assert "[" not in a_line
