@@ -9,7 +9,8 @@ Commands:
 * ``format <file>``      — pretty-print a script file (round-trippable);
 * ``demo broadcast``     — run a broadcast and print the delivery table;
 * ``demo lock``          — run the Figure 5 lock-manager workload;
-* ``demo election``      — run a ring leader election.
+* ``demo election``      — run a ring leader election;
+* ``chaos <script>``     — soak a script under seeded fault injection.
 
 The CLI is a thin shell over the library; every command is available
 programmatically (see the modules referenced in each handler).
@@ -157,6 +158,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Soak a script under deterministic fault injection."""
+    from .faults import SCRIPTS, soak, verify_determinism
+    if args.script not in SCRIPTS:
+        print(f"unknown chaos script {args.script!r}; try: "
+              f"{', '.join(SCRIPTS)}", file=sys.stderr)
+        return 2
+    report = soak(args.script, runs=args.runs, seed=args.seed)
+    for line in report.lines():
+        print(line)
+    if args.verify:
+        same = verify_determinism(args.script, seed=args.seed)
+        print(f"  determinism   seed {args.seed} replayed "
+              f"{'identically' if same else 'DIFFERENTLY'}")
+        if not same:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -190,6 +210,18 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["star", "star_nondet", "pipeline", "tree"])
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(handler=cmd_demo)
+
+    chaos = sub.add_parser("chaos", help="chaos-soak a script under "
+                                         "seeded fault injection")
+    chaos.add_argument("script", choices=["broadcast", "lock"])
+    chaos.add_argument("--runs", type=int, default=100,
+                       help="number of seeded runs (default 100)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; run i uses seed+i")
+    chaos.add_argument("--verify", action="store_true",
+                       help="also replay the base seed twice and compare "
+                            "traces")
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 

@@ -9,6 +9,8 @@ Public surface:
 * :class:`Param`, :class:`Mode`, :class:`Ref` — data parameters.
 * :class:`Initiation`, :class:`Termination`, :class:`UnfilledPolicy`,
   :data:`UNFILLED` — the Section II policy space.
+* :class:`Supervisor` — crash policies (absence demotion / abort); attach
+  via :meth:`ScriptInstance.supervise`.
 """
 
 from .context import (ALL_ABSENT, ReceiveFrom, RoleContext, RoleSelectResult,
@@ -21,6 +23,7 @@ from .policies import UNFILLED, Initiation, Termination, UnfilledPolicy
 from .roles import (RoleFamily, RoleId, RoleSpec, family_member, family_of,
                     is_family_member)
 from .script import ScriptDef
+from .supervision import Supervisor
 
 __all__ = [
     "ALL_ABSENT",
@@ -42,6 +45,7 @@ __all__ = [
     "ScriptInstance",
     "SealPolicy",
     "SendTo",
+    "Supervisor",
     "Termination",
     "UNFILLED",
     "UnfilledPolicy",

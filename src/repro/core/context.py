@@ -24,8 +24,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Generator, Hashable, Sequence, TYPE_CHECKING
 
-from ..errors import UnfilledRoleError
-from ..runtime import (ELSE_BRANCH, Receive, Select, Send, WaitUntil)
+from ..errors import CrashedPartnerSignal, UnfilledRoleError
+from ..runtime import (ELSE_BRANCH, TIMED_OUT, TIMED_OUT_BRANCH, Receive,
+                       ReceiveTimeout, Select, Send, WaitUntil)
 from .performance import Performance, RoleAddress
 from .policies import UNFILLED, UnfilledPolicy
 from .roles import RoleId, is_family_member
@@ -160,17 +161,26 @@ class RoleContext:
         yield from self._await_filled_or_absent(role_id)
         if self.performance.is_absent(role_id):
             return self._handle_absent(role_id)
-        yield Send(self.performance.address(role_id), value,
-                   tag=self._wrap_tag(tag), as_alias=self._my_alias())
+        try:
+            yield Send(self.performance.address(role_id), value,
+                       tag=self._wrap_tag(tag), as_alias=self._my_alias())
+        except CrashedPartnerSignal:
+            # The partner died mid-rendezvous and was supervised into
+            # absence: same policy as sending to an absent role.
+            return self._handle_absent(role_id)
         return None
 
     def receive(self, role_id: RoleId | None = None, tag: Hashable = None,
-                with_sender: bool = False) -> Body:
+                with_sender: bool = False,
+                timeout: float | None = None) -> Body:
         """Receive from ``role_id`` (or from any role when ``None``).
 
         Returns the received value, or ``(value, sender_role_id)`` with
         ``with_sender=True``; returns :data:`UNFILLED` (or raises) when the
-        named partner is absent.
+        named partner is absent.  With ``timeout=`` the *rendezvous* wait
+        (not the wait for the role to fill) is bounded: if no partner
+        commits within that many virtual-time units the distinguished
+        falsy value :data:`~repro.runtime.TIMED_OUT` is returned instead.
         """
         if role_id is not None:
             yield from self._await_filled_or_absent(role_id)
@@ -179,8 +189,20 @@ class RoleContext:
             source: Any = self.performance.address(role_id)
         else:
             source = None
-        message = yield Receive(source, tag=self._wrap_tag(tag),
-                                with_sender=True)
+        try:
+            if timeout is None:
+                message = yield Receive(source, tag=self._wrap_tag(tag),
+                                        with_sender=True)
+            else:
+                message = yield ReceiveTimeout(source, tag=self._wrap_tag(tag),
+                                               with_sender=True,
+                                               timeout=timeout)
+                if message is TIMED_OUT:
+                    return TIMED_OUT
+        except CrashedPartnerSignal:
+            if role_id is None:  # pragma: no cover - defensive
+                raise
+            return self._handle_absent(role_id)
         if with_sender:
             return message.value, self._sender_role(message.sender)
         return message.value
@@ -205,23 +227,36 @@ class RoleContext:
         pending = set(self.family_indices(family))
         collected: dict[int, Any] = {}
         while pending:
+            # Members that crashed (or were absent all along) will never
+            # answer; prune them before blocking on the rest.
+            pending = {index for index in pending
+                       if not self.performance.is_absent((family, index))}
+            if not pending:
+                break
             result = yield from self.select(
                 [ReceiveFrom((family, index), tag=tag)
                  for index in sorted(pending)])
+            if result.index == ALL_ABSENT:
+                continue  # re-prune and re-check
             index = result.sender[1]
             collected[index] = result.value
             pending.discard(index)
         return collected
 
     def select(self, branches: Sequence[SendTo | ReceiveFrom],
-               immediate: bool = False) -> Body:
+               immediate: bool = False,
+               timeout: float | None = None) -> Body:
         """Wait for one of several role communications to commit.
 
         Branches whose named target is *absent* are dropped; if every
         branch is dropped the result has ``index == ALL_ABSENT`` (under the
         DISTINGUISHED policy) or :class:`UnfilledRoleError` is raised.
         With ``immediate=True`` the result may have ``index ==
-        ELSE_BRANCH`` when nothing can commit right now.
+        ELSE_BRANCH`` when nothing can commit right now.  With ``timeout=``
+        the result may have ``index ==``
+        :data:`~repro.runtime.TIMED_OUT_BRANCH` when no branch committed in
+        time.  If a partner crashes while we wait, the select is retried
+        with the (now absent) branches dropped.
         """
         live_indices: list[int] = []
         effects: list[Send | Receive] = []
@@ -252,9 +287,18 @@ class RoleContext:
                     f"absent role in performance {self.performance.id}")
             return RoleSelectResult(index=ALL_ABSENT)
 
-        result = yield Select(tuple(effects), immediate=immediate)
+        try:
+            result = yield Select(tuple(effects), immediate=immediate,
+                                  timeout=timeout)
+        except CrashedPartnerSignal:
+            # Some partner died mid-wait; crashed roles are now absent, so
+            # the retry drops their branches (or reports ALL_ABSENT).
+            return (yield from self.select(branches, immediate=immediate,
+                                           timeout=timeout))
         if result.index == ELSE_BRANCH:
             return RoleSelectResult(index=ELSE_BRANCH)
+        if result.index == TIMED_OUT_BRANCH:
+            return RoleSelectResult(index=TIMED_OUT_BRANCH)
         return RoleSelectResult(index=live_indices[result.index],
                                 value=result.value,
                                 sender=self._sender_role(result.sender))

@@ -86,6 +86,7 @@ class ScriptInstance:
         self.current: Performance | None = None
         self.performances: list[Performance] = []
         self._perf_seq = itertools.count(1)
+        self._request_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,6 +163,19 @@ class ScriptInstance:
             self._seal(performance)
             self._check_ended(performance)
 
+    def supervise(self, critical: Any = None,
+                  on_abort: Any = None) -> "Supervisor":
+        """Attach a crash :class:`~repro.core.supervision.Supervisor`.
+
+        After this, a mid-performance process crash no longer wedges the
+        performance: a non-critical role falls back to the paper's
+        unfilled-role semantics, a critical one aborts the performance
+        with :class:`~repro.errors.PerformanceAborted`.  See
+        :mod:`repro.core.supervision` for the policy details.
+        """
+        from .supervision import Supervisor
+        return Supervisor(self, critical=critical, on_abort=on_abort)
+
     @property
     def performance_count(self) -> int:
         """Number of performances started so far."""
@@ -181,6 +195,10 @@ class ScriptInstance:
                                    instance=self.name, **details)
 
     def _submit(self, request: EnrollmentRequest) -> None:
+        # Renumber with the instance-local counter: the global default is
+        # fine for FIFO order but would leak prior instances' request
+        # counts into traces, breaking same-seed trace equality.
+        request.seq = next(self._request_seq)
         self._emit(EventKind.ENROLL_REQUEST, request.process,
                    role=request.role_id,
                    partners={k: sorted(v, key=repr)

@@ -52,9 +52,11 @@ class Performance:
         self.id = f"{instance_name}/p{seq}"
         self.filled: dict[RoleId, EnrollmentRequest] = {}
         self.done: set[RoleId] = set()
+        self.crashed: set[RoleId] = set()
         self.started = False
         self.sealed = False
         self.ended = False
+        self.aborted = False
 
     # -- addressing -------------------------------------------------------
 
@@ -83,8 +85,17 @@ class Performance:
                       if family_of(role) == family)
 
     def is_absent(self, role_id: RoleId) -> bool:
-        """True when the participant set is final and ``role_id`` is not in it."""
+        """True when the participant set is final and ``role_id`` is not in it.
+
+        A role whose process crashed mid-performance (and was supervised
+        into absence) counts: its crash removed it from the participant
+        set, so partners observe exactly the unfilled-role semantics.
+        """
         return self.sealed and role_id not in self.filled
+
+    def is_crashed(self, role_id: RoleId) -> bool:
+        """True when ``role_id`` was vacated by a supervised process crash."""
+        return role_id in self.crashed
 
     def role_terminated(self, role_id: RoleId) -> bool:
         """The paper's ``r.terminated`` function (Section II / Figure 5).
@@ -103,7 +114,8 @@ class Performance:
         return set(self.filled) <= self.done
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = ("ended" if self.ended else
+        state = ("aborted" if self.aborted else
+                 "ended" if self.ended else
                  "sealed" if self.sealed else
                  "started" if self.started else "gathering")
         return (f"<Performance {self.id} {state} filled={len(self.filled)} "

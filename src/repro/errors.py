@@ -66,6 +66,34 @@ class UnknownProcessError(RuntimeKernelError):
     """An operation referenced a process name that is not registered."""
 
 
+class TimeoutError(RuntimeKernelError):  # noqa: A001 - deliberate shadow
+    """A communication guarded by a :class:`~repro.runtime.Deadline` expired.
+
+    Carries the process that timed out and the virtual deadline so handlers
+    can implement retry loops without re-deriving either.
+    """
+
+    def __init__(self, process_name: object, deadline: float,
+                 waiting_for: str = ""):
+        self.process_name = process_name
+        self.deadline = deadline
+        self.waiting_for = waiting_for
+        detail = f" while {waiting_for}" if waiting_for else ""
+        super().__init__(
+            f"process {process_name!r} timed out at t={deadline:g}{detail}")
+
+
+class ProcessInterrupt(RuntimeKernelError):
+    """Base class for exceptions thrown *into* a blocked process.
+
+    The scheduler's ``interrupt`` operation cancels whatever the target is
+    blocked on and resumes it by raising an instance of this class (or a
+    subclass) at its current yield point.  Role contexts and supervisors
+    use subclasses to unwind blocked communications when a partner crashes
+    or a performance aborts.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Script (core) errors
 # ---------------------------------------------------------------------------
@@ -98,6 +126,42 @@ class UnfilledRoleError(ScriptError):
 
 class PerformanceError(ScriptError):
     """A performance lifecycle rule was violated."""
+
+
+class CrashedPartnerSignal(ProcessInterrupt):
+    """A blocked communication's only possible partners have crashed.
+
+    Thrown into a process whose every pending offer targets role addresses
+    vacated by a crash.  :class:`~repro.core.RoleContext` catches it and
+    applies the script's unfilled-role policy (distinguished value or
+    :class:`UnfilledRoleError`); it is not meant to reach user code.
+    """
+
+    def __init__(self, addresses: frozenset):
+        self.addresses = frozenset(addresses)
+        super().__init__(
+            f"every possible partner crashed: "
+            f"{sorted(map(repr, self.addresses))}")
+
+
+class PerformanceAborted(ProcessInterrupt, ScriptError):
+    """A performance was aborted because a critical role's process crashed.
+
+    Thrown into every surviving participant whose role body had not yet
+    finished.  ``performance_id`` names the aborted performance, ``role``
+    the survivor's own role, and ``crashed`` the role(s) whose crash caused
+    the abort.  Survivors may catch this to continue with other work; the
+    supervisor has already released their role aliases and pending offers.
+    """
+
+    def __init__(self, performance_id: str, role: object,
+                 crashed: tuple = ()):
+        self.performance_id = performance_id
+        self.role = role
+        self.crashed = tuple(crashed)
+        super().__init__(
+            f"performance {performance_id} aborted (crashed roles: "
+            f"{sorted(map(repr, self.crashed))}); role {role!r} released")
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +212,23 @@ class SemanticError(ScriptLangError):
 
 class InterpreterError(ScriptLangError):
     """A runtime error occurred while interpreting script-language code."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection errors
+# ---------------------------------------------------------------------------
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed or cannot be installed as requested."""
+
+
+class ChaosInvariantError(ReproError):
+    """A chaos soak run left residue or violated a semantic invariant.
+
+    The message names the offending seed, so any soak failure is
+    reproducible by rerunning that single seed.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and chaos soaking.
+
+:mod:`repro.faults.plan` defines :class:`FaultPlan` — a seed-reproducible
+schedule of process crashes, link partitions/heals, latency spikes and
+message drops, installed onto a scheduler as plain timers.
+:mod:`repro.faults.soak` runs the broadcast and lock-manager scripts for
+many performances under such plans and asserts that every run finishes
+residue-free (empty board, no waiters, no timers, no aliases).
+"""
+
+from .plan import (CRASH, DROP, HEAL, KINDS, PARTITION, SLOW, FaultEvent,
+                   FaultPlan)
+from .soak import (SCRIPTS, ChaosRun, SoakReport, check_residue,
+                   make_chaos_broadcast, run_chaos_broadcast, run_chaos_lock,
+                   soak, verify_determinism)
+
+__all__ = [
+    "CRASH",
+    "ChaosRun",
+    "DROP",
+    "FaultEvent",
+    "FaultPlan",
+    "HEAL",
+    "KINDS",
+    "PARTITION",
+    "SCRIPTS",
+    "SLOW",
+    "SoakReport",
+    "check_residue",
+    "make_chaos_broadcast",
+    "run_chaos_broadcast",
+    "run_chaos_lock",
+    "soak",
+    "verify_determinism",
+]

@@ -1,0 +1,276 @@
+"""Deterministic fault plans: seed-reproducible schedules of bad luck.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records, each
+pinned to a *virtual* time.  Installing a plan on a scheduler arms one timer
+per event; because the scheduler's clock is discrete and the plan is plain
+data, the same seed and plan always produce bit-for-bit identical traces —
+a chaos run that finds a bug *is* its own reproduction recipe.
+
+Event kinds:
+
+``CRASH``
+    Kill a process (:meth:`Scheduler.kill`).  A crash aimed at a process
+    that never spawned or already finished is recorded as not applied —
+    plans may legitimately outlive their targets.
+``PARTITION`` / ``HEAL``
+    Cut or restore one topology link through the
+    :class:`~repro.net.transport.NetworkTransport`.  Partitions act at
+    matching time: a rendezvous across a cut link simply never commits
+    until the link heals.
+``SLOW`` / ``DROP``
+    Set the transport's latency factor (congestion spike) or drop-retry
+    count (lossy link forcing retransmissions).  Restore by scheduling a
+    later ``SLOW`` with factor 1.0 / ``DROP`` with 0 retries.
+
+Every applied event is emitted into the trace as
+:data:`~repro.runtime.EventKind.FAULT`, so fault schedules are visible in
+(and covered by) trace-equality determinism checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Hashable, Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from ..errors import FaultPlanError
+from ..runtime import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.transport import NetworkTransport
+    from ..runtime.scheduler import Scheduler, TimerHandle
+
+# -- event kinds ----------------------------------------------------------
+
+CRASH = "crash"
+PARTITION = "partition"
+HEAL = "heal"
+SLOW = "slow"
+DROP = "drop"
+
+KINDS = (CRASH, PARTITION, HEAL, SLOW, DROP)
+
+#: Kinds that act through the network transport.
+_TRANSPORT_KINDS = frozenset({PARTITION, HEAL, SLOW, DROP})
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled misfortune.
+
+    ``target`` is a process name for ``CRASH`` and an ``(a, b)`` node pair
+    for ``PARTITION``/``HEAL``; ``value`` is the latency factor for
+    ``SLOW`` and the retry count for ``DROP``.
+    """
+
+    time: float
+    kind: str
+    target: Any = None
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}; "
+                                 f"choose from {KINDS}")
+        if self.time < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.time}")
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (CLI and traces)."""
+        if self.kind == CRASH:
+            return f"t={self.time:g} crash {self.target!r}"
+        if self.kind in (PARTITION, HEAL):
+            a, b = self.target
+            return f"t={self.time:g} {self.kind} {a!r}--{b!r}"
+        if self.kind == SLOW:
+            return f"t={self.time:g} latency x{self.value:g}"
+        return f"t={self.time:g} drop retries={self.value}"
+
+
+class FaultPlan:
+    """An ordered, deterministic schedule of fault events.
+
+    Build one with the fluent methods (:meth:`crash`, :meth:`partition`,
+    ...), generate one with :meth:`random`, then :meth:`install` it on a
+    scheduler before (or during) a run.  Events fire in ``(time,
+    insertion)`` order, matching the scheduler's timer tie-break, so two
+    installs of the same plan replay identically.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: list[FaultEvent] = sorted(events, key=lambda e: e.time)
+
+    # -- fluent builders ---------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Insert ``event`` keeping time order (stable for equal times)."""
+        position = len(self.events)
+        for index, existing in enumerate(self.events):
+            if existing.time > event.time:
+                position = index
+                break
+        self.events.insert(position, event)
+        return self
+
+    def crash(self, time: float, process: Hashable) -> "FaultPlan":
+        """Kill ``process`` at virtual ``time``."""
+        return self.add(FaultEvent(time, CRASH, target=process))
+
+    def partition(self, time: float, a: Hashable, b: Hashable,
+                  heal_at: float | None = None) -> "FaultPlan":
+        """Cut link ``a--b`` at ``time``; optionally heal at ``heal_at``."""
+        self.add(FaultEvent(time, PARTITION, target=(a, b)))
+        if heal_at is not None:
+            if heal_at <= time:
+                raise FaultPlanError(
+                    f"heal time {heal_at} must be after partition time {time}")
+            self.heal(heal_at, a, b)
+        return self
+
+    def heal(self, time: float, a: Hashable, b: Hashable) -> "FaultPlan":
+        """Restore link ``a--b`` at ``time``."""
+        return self.add(FaultEvent(time, HEAL, target=(a, b)))
+
+    def slow(self, time: float, factor: float,
+             until: float | None = None) -> "FaultPlan":
+        """Multiply remote latencies by ``factor`` from ``time`` on.
+
+        With ``until`` the factor reverts to 1.0 at that time (a spike).
+        """
+        if factor <= 0:
+            raise FaultPlanError(f"latency factor must be > 0, got {factor}")
+        self.add(FaultEvent(time, SLOW, value=float(factor)))
+        if until is not None:
+            if until <= time:
+                raise FaultPlanError(
+                    f"spike end {until} must be after start {time}")
+            self.add(FaultEvent(until, SLOW, value=1.0))
+        return self
+
+    def drop(self, time: float, retries: int,
+             until: float | None = None) -> "FaultPlan":
+        """Make remote links lossy: each message retransmitted ``retries``
+        times from ``time`` on; with ``until``, losses stop at that time."""
+        if retries < 0:
+            raise FaultPlanError(f"drop retries must be >= 0, got {retries}")
+        self.add(FaultEvent(time, DROP, value=int(retries)))
+        if until is not None:
+            if until <= time:
+                raise FaultPlanError(
+                    f"drop window end {until} must be after start {time}")
+            self.add(FaultEvent(until, DROP, value=0))
+        return self
+
+    # -- generation --------------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, processes: Sequence[Hashable] = (),
+               links: Sequence[tuple[Hashable, Hashable]] = (),
+               horizon: float = 10.0, crashes: int = 1, partitions: int = 0,
+               slow_windows: int = 0, drop_windows: int = 0,
+               not_before: float = 0.0) -> "FaultPlan":
+        """Generate a reproducible plan from ``seed``.
+
+        ``crashes`` victims are drawn (without replacement) from
+        ``processes``; ``partitions`` cut-and-heal windows from ``links``.
+        All times land in ``[not_before, horizon)``.  The same arguments
+        and seed always yield the identical plan.
+        """
+        if horizon <= not_before:
+            raise FaultPlanError(
+                f"horizon {horizon} must be after not_before {not_before}")
+        rng = random.Random(seed)
+        plan = cls()
+
+        def moment() -> float:
+            return round(rng.uniform(not_before, horizon), 3)
+
+        victims = list(processes)
+        rng.shuffle(victims)
+        for victim in victims[:crashes]:
+            plan.crash(moment(), victim)
+        for _ in range(partitions):
+            if not links:
+                break
+            a, b = links[rng.randrange(len(links))]
+            start = moment()
+            span = max((horizon - start) * rng.random(), 0.001)
+            plan.partition(start, a, b, heal_at=round(start + span, 3))
+        for _ in range(slow_windows):
+            start = moment()
+            span = max((horizon - start) * rng.random(), 0.001)
+            plan.slow(start, round(rng.uniform(2.0, 8.0), 3),
+                      until=round(start + span, 3))
+        for _ in range(drop_windows):
+            start = moment()
+            span = max((horizon - start) * rng.random(), 0.001)
+            plan.drop(start, rng.randint(1, 3), until=round(start + span, 3))
+        return plan
+
+    # -- installation ------------------------------------------------------
+
+    def install(self, scheduler: "Scheduler",
+                transport: "NetworkTransport | None" = None
+                ) -> list["TimerHandle"]:
+        """Arm one timer per event; return the handles (for cancellation).
+
+        Network events require ``transport``; purely crash-based plans do
+        not.  When a transport is supplied and the scheduler has no match
+        filter yet, the transport's partition-aware filter is installed so
+        cut links actually block rendezvous.
+        """
+        for event in self.events:
+            if event.kind in _TRANSPORT_KINDS and transport is None:
+                raise FaultPlanError(
+                    f"event {event.describe()!r} needs a NetworkTransport")
+            if event.time < scheduler.now:
+                raise FaultPlanError(
+                    f"event {event.describe()!r} is in the past "
+                    f"(now={scheduler.now})")
+        if transport is not None and scheduler.match_filter is None:
+            scheduler.match_filter = transport.match_filter
+        return [scheduler.schedule_at(
+                    event.time, self._action(scheduler, transport, event))
+                for event in self.events]
+
+    def _action(self, scheduler: "Scheduler",
+                transport: "NetworkTransport | None", event: FaultEvent):
+        def fire() -> None:
+            applied = True
+            if event.kind == CRASH:
+                process = scheduler.processes.get(event.target)
+                applied = process is not None and not process.finished
+                scheduler.tracer.emit(scheduler.now, EventKind.FAULT,
+                                      event.target, fault=event.kind,
+                                      applied=applied)
+                if applied:
+                    scheduler.kill(event.target)
+                return
+            a, b = event.target if event.kind in (PARTITION, HEAL) else (None, None)
+            if event.kind == PARTITION:
+                transport.partition(a, b)
+            elif event.kind == HEAL:
+                transport.heal(a, b)
+            elif event.kind == SLOW:
+                transport.latency_factor = event.value
+            elif event.kind == DROP:
+                transport.drop_retries = event.value
+            scheduler.tracer.emit(scheduler.now, EventKind.FAULT, None,
+                                  fault=event.kind, target=event.target,
+                                  value=event.value, applied=applied)
+        return fire
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> list[str]:
+        """One line per event, in firing order."""
+        return [event.describe() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {len(self.events)} events>"

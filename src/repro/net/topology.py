@@ -32,6 +32,7 @@ class Topology:
         self.name = name
         self._adjacency: dict[Node, dict[Node, float]] = {}
         self._distance_cache: dict[Node, dict[Node, float]] = {}
+        self._disabled: set[frozenset] = set()
 
     # -- construction ------------------------------------------------------
 
@@ -49,6 +50,41 @@ class Topology:
         self._adjacency.setdefault(a, {})[b] = latency
         self._adjacency.setdefault(b, {})[a] = latency
         self._distance_cache.clear()
+
+    # -- link faults ---------------------------------------------------------
+
+    def _require_link(self, a: Node, b: Node) -> frozenset:
+        if b not in self._adjacency.get(a, {}):
+            raise TopologyError(f"no link {a!r}-{b!r} on {self.name}")
+        return frozenset((a, b))
+
+    def disable_link(self, a: Node, b: Node) -> None:
+        """Cut the direct link ``a``-``b`` (fault injection; idempotent).
+
+        Disabled links carry no traffic: shortest paths route around them,
+        and pairs left disconnected report as such via :meth:`connected`.
+        The link's weight is preserved for :meth:`enable_link`.
+        """
+        self._disabled.add(self._require_link(a, b))
+        self._distance_cache.clear()
+
+    def enable_link(self, a: Node, b: Node) -> None:
+        """Restore a previously disabled link (idempotent)."""
+        self._disabled.discard(self._require_link(a, b))
+        self._distance_cache.clear()
+
+    @property
+    def disabled_links(self) -> set[frozenset]:
+        """Currently disabled links, as frozensets of endpoints."""
+        return set(self._disabled)
+
+    def connected(self, a: Node, b: Node) -> bool:
+        """Is there a live path between ``a`` and ``b``?"""
+        if a == b:
+            if a not in self._adjacency:
+                raise TopologyError(f"unknown node {a!r}")
+            return True
+        return b in self._distances_from(a)
 
     # -- queries --------------------------------------------------------------
 
@@ -92,6 +128,8 @@ class Topology:
             if dist > distances.get(node, float("inf")):
                 continue
             for peer, weight in self._adjacency[node].items():
+                if self._disabled and frozenset((node, peer)) in self._disabled:
+                    continue
                 candidate = dist + weight
                 if candidate < distances.get(peer, float("inf")):
                     distances[peer] = candidate

@@ -7,6 +7,14 @@ the paper requires that "the role should be executed by the same processor
 on which the main body of the enrolling process is executed", placement maps
 *processes* to nodes — roles automatically inherit the placement of whoever
 enrolled, with no extra mapping.
+
+The transport is also the seat of injected network faults
+(:mod:`repro.faults`): links may be partitioned and healed, a latency
+factor models congestion spikes, and a drop factor models lossy links that
+force retransmissions.  Partitions act at *matching* time — install
+:meth:`NetworkTransport.match_filter` on the scheduler and a rendezvous
+across a cut link simply never commits until the link heals (the
+synchronous-communication analogue of an undeliverable message).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from .topology import Topology, TopologyError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.board import Commit
+    from ..runtime.process import Process
     from ..runtime.scheduler import Scheduler
 
 Node = Hashable
@@ -29,15 +38,21 @@ class MessageStats:
     """Aggregate message accounting for one run."""
 
     messages: int = 0
-    local_messages: int = 0       # same-node rendezvous (latency 0)
+    local_messages: int = 0       # same-node rendezvous
     total_latency: float = 0.0
     max_latency: float = 0.0
+    dropped: int = 0              # simulated retransmissions (drop faults)
     per_pair: Counter = dataclasses.field(default_factory=Counter)
 
     def record(self, src: Node, dst: Node, latency: float) -> None:
-        """Account one rendezvous between ``src`` and ``dst``."""
+        """Account one rendezvous between ``src`` and ``dst``.
+
+        A zero-latency rendezvous counts as local only when both endpoints
+        share a node; distinct nodes joined by a zero-weight link still
+        produce a remote message.
+        """
         self.messages += 1
-        if latency == 0:
+        if src == dst:
             self.local_messages += 1
         self.total_latency += latency
         self.max_latency = max(self.max_latency, latency)
@@ -56,6 +71,19 @@ class NetworkTransport:
     a placement use ``default_node`` when given, otherwise communication
     involving them is an error — silent mis-placement would corrupt the
     benchmark numbers.
+
+    Fault-injection state (all mutable at run time, usually via timers a
+    :class:`~repro.faults.FaultPlan` installs):
+
+    ``latency_factor``
+        Multiplier on every remote message's latency (congestion spikes).
+    ``drop_retries``
+        Number of simulated retransmissions per remote message; each
+        retransmission re-pays the link latency and is counted in
+        ``stats.dropped``.
+    partitions
+        :meth:`partition` / :meth:`heal` cut and restore topology links;
+        :meth:`match_filter` turns the cut into a matching-time barrier.
     """
 
     def __init__(self, topology: Topology,
@@ -65,6 +93,8 @@ class NetworkTransport:
         self.placement = dict(placement)
         self.default_node = default_node
         self.stats = MessageStats()
+        self.latency_factor = 1.0
+        self.drop_retries = 0
 
     def node_of(self, process: Hashable) -> Node:
         node = self.placement.get(process, self.default_node)
@@ -77,9 +107,41 @@ class NetworkTransport:
         """Assign (or reassign) a process to a node."""
         self.placement[process] = node
 
+    # -- fault injection -----------------------------------------------------
+
+    def partition(self, a: Node, b: Node) -> None:
+        """Cut the direct link ``a``-``b`` (traffic reroutes or blocks)."""
+        self.topology.disable_link(a, b)
+
+    def heal(self, a: Node, b: Node) -> None:
+        """Restore a previously partitioned link."""
+        self.topology.enable_link(a, b)
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Can the nodes hosting processes ``a`` and ``b`` reach each other?"""
+        return self.topology.connected(self.node_of(a), self.node_of(b))
+
+    def match_filter(self, sender: "Process", receiver: "Process") -> bool:
+        """Scheduler match filter: block rendezvous across a partition.
+
+        Processes with no placement are treated as reachable so that the
+        placement error surfaces from the transport call itself (with a
+        clear message) rather than being silently swallowed here.
+        """
+        try:
+            return self.connected(sender.name, receiver.name)
+        except TopologyError:
+            return True
+
+    # -- transport hook ------------------------------------------------------
+
     def __call__(self, scheduler: "Scheduler", commit: "Commit") -> float:
         src = self.node_of(commit.sender.name)
         dst = self.node_of(commit.receiver.name)
-        latency = self.topology.latency(src, dst)
+        base = self.topology.latency(src, dst)
+        latency = base * self.latency_factor if base > 0 else 0.0
+        if latency > 0 and self.drop_retries:
+            self.stats.dropped += self.drop_retries
+            latency *= 1 + self.drop_retries
         self.stats.record(src, dst, latency)
         return latency

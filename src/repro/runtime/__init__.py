@@ -8,21 +8,27 @@ model.
 """
 
 from .board import Commit, RendezvousBoard
-from .effects import (ELSE_BRANCH, AddAlias, Choice, Delay, DropAlias,
-                      Effect, GetName, GetTime, QueryProcesses, Receive,
-                      ReceivedMessage, Select, SelectResult, Send, Spawn,
+from .effects import (ELSE_BRANCH, TIMED_OUT, TIMED_OUT_BRANCH, AddAlias,
+                      Choice, Deadline, Delay, DropAlias, Effect, GetName,
+                      GetTime, QueryProcesses, Receive, ReceivedMessage,
+                      ReceiveTimeout, Select, SelectResult, Send, Spawn,
                       Trace, WaitUntil)
 from .process import Process, ProcessState
-from .scheduler import RunResult, Scheduler, run_processes
+from .scheduler import MatchFilter, RunResult, Scheduler, run_processes
 from .tracing import EventKind, TraceEvent, Tracer, format_trace
 
 __all__ = [
     "AddAlias",
     "Choice",
     "Commit",
+    "Deadline",
     "Delay",
     "DropAlias",
     "ELSE_BRANCH",
+    "MatchFilter",
+    "ReceiveTimeout",
+    "TIMED_OUT",
+    "TIMED_OUT_BRANCH",
     "Effect",
     "EventKind",
     "GetName",

@@ -48,6 +48,9 @@ class OfferGroup:
     process: "Process"
     offers: list[Offer]
     plain: bool                      # a bare Send/Receive, not a Select
+    # Timer that expires this group (Deadline / ReceiveTimeout / Select
+    # timeout); cancelled automatically when the group leaves the board.
+    expiry: Any = None
 
     def describe(self) -> str:
         """Human-readable account of what the process is waiting for."""
@@ -136,8 +139,15 @@ class RendezvousBoard:
         self._groups[name] = group
 
     def withdraw(self, process_name: Hashable) -> OfferGroup | None:
-        """Remove and return the offers of ``process_name``, if any."""
-        return self._groups.pop(process_name, None)
+        """Remove and return the offers of ``process_name``, if any.
+
+        Any expiry timer attached to the group is cancelled, so a timeout
+        can never fire for an offer that already left the board.
+        """
+        group = self._groups.pop(process_name, None)
+        if group is not None and group.expiry is not None:
+            group.expiry.cancel()
+        return group
 
     def _matches(self, send: Offer, recv: Offer,
                  owner: dict[Hashable, "Process"]) -> bool:
@@ -195,8 +205,8 @@ class RendezvousBoard:
 
     def remove_parties(self, commit: Commit) -> None:
         """Drop all offers of both processes involved in ``commit``."""
-        self._groups.pop(commit.sender.name, None)
-        self._groups.pop(commit.receiver.name, None)
+        self.withdraw(commit.sender.name)
+        self.withdraw(commit.receiver.name)
 
 
 def resume_values(commit: Commit) -> tuple[Any, Any]:

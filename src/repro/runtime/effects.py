@@ -84,17 +84,30 @@ class Select(Effect):
     With ``immediate=True`` the select never blocks: if no branch can commit
     right now the result has ``index == ELSE_BRANCH`` (this models CSP's
     "else" / Ada's ``else`` part of a selective wait).
+
+    ``timeout`` adds a timeout arm: if no branch commits within ``timeout``
+    units of virtual time the offers are withdrawn and the result has
+    ``index == TIMED_OUT_BRANCH`` (Ada's ``delay`` alternative).
     """
 
     branches: tuple[Send | Receive, ...]
     immediate: bool = False
+    timeout: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "branches", tuple(self.branches))
+        if self.timeout is not None:
+            if self.immediate:
+                raise ValueError("immediate select cannot also have a timeout")
+            if self.timeout < 0:
+                raise ValueError(f"negative select timeout: {self.timeout}")
 
 
 #: Index reported by a Select whose ``immediate`` escape was taken.
 ELSE_BRANCH = -1
+
+#: Index reported by a Select whose timeout arm fired.
+TIMED_OUT_BRANCH = -3
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -134,6 +147,72 @@ class WaitUntil(Effect):
 
     predicate: Callable[[], bool]
     description: str = "condition"
+
+
+class _TimedOut:
+    """Singleton result of a :class:`ReceiveTimeout` that expired."""
+
+    _instance: "_TimedOut | None" = None
+
+    def __new__(cls) -> "_TimedOut":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Distinguished (falsy) value returned by an expired :class:`ReceiveTimeout`.
+TIMED_OUT = _TimedOut()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReceiveTimeout(Effect):
+    """A :class:`Receive` that gives up after ``timeout`` virtual time units.
+
+    The result is the received value (or :class:`ReceivedMessage` with
+    ``with_sender=True``) when a rendezvous commits in time, and the
+    distinguished :data:`TIMED_OUT` value otherwise.  This is the
+    non-raising counterpart of :class:`Deadline`, convenient in
+    retry loops: ``while (v := yield ReceiveTimeout(..., timeout=5)) is
+    TIMED_OUT: ...``.
+    """
+
+    frm: Address | None = None
+    tag: Tag = None
+    with_sender: bool = False
+    timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError(f"negative receive timeout: {self.timeout}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Deadline(Effect):
+    """Run one communication effect under a deadline.
+
+    ``effect`` is a :class:`Send`, :class:`Receive` or blocking
+    :class:`Select`.  If no rendezvous commits within ``timeout`` units of
+    virtual time, the pending offers are withdrawn and
+    :class:`~repro.errors.TimeoutError` is raised *inside* the yielding
+    process at the yield point — a blocked rendezvous expires instead of
+    deadlocking.
+    """
+
+    effect: Send | Receive | Select
+    timeout: float
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError(f"negative deadline: {self.timeout}")
+        if isinstance(self.effect, Select) and self.effect.immediate:
+            raise ValueError("an immediate select never blocks; "
+                             "a deadline on it is meaningless")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

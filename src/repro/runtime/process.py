@@ -49,17 +49,24 @@ class Process:
         self.killed = False
         self.blocked_reason: str = ""
         self.steps = 0
+        # Epoch of the latest scheduled resumption.  Timer callbacks capture
+        # the epoch current when they were armed and become no-ops if the
+        # process was resumed some other way in between (e.g. an interrupt
+        # cancelling a Delay, or a timeout racing a commit).
+        self.epoch = 0
         # Value or exception to deliver at the next resumption.
         self._resume_value: Any = None
         self._resume_exc: BaseException | None = None
 
     def set_resume(self, value: Any = None) -> None:
         """Arrange for the generator to be resumed with ``value``."""
+        self.epoch += 1
         self._resume_value = value
         self._resume_exc = None
 
     def set_resume_exception(self, exc: BaseException) -> None:
         """Arrange for ``exc`` to be thrown into the generator."""
+        self.epoch += 1
         self._resume_value = None
         self._resume_exc = exc
 

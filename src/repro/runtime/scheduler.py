@@ -22,18 +22,25 @@ from collections import deque
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from ..errors import (DeadlockError, InvalidEffectError, ProcessFailure,
-                      RuntimeKernelError, StepLimitExceeded,
+                      RuntimeKernelError, StepLimitExceeded, TimeoutError,
                       UnknownProcessError)
 from . import board as board_mod
-from .board import RendezvousBoard, make_group
-from .effects import (AddAlias, Choice, Delay, DropAlias, Effect, GetName,
-                      GetTime, QueryProcesses, Receive, Select, Send, Spawn,
-                      Trace, WaitUntil)
+from .board import OfferGroup, RendezvousBoard, make_group
+from .effects import (TIMED_OUT, TIMED_OUT_BRANCH, AddAlias, Choice, Deadline,
+                      Delay, DropAlias, Effect, GetName, GetTime,
+                      QueryProcesses, Receive, ReceiveTimeout, Select,
+                      SelectResult, Send, Spawn, Trace, WaitUntil)
 from .process import Process, ProcessBody, ProcessState
 from .tracing import EventKind, Tracer
 
 #: Transport hook signature: given a committed pair, return message latency.
 Transport = Callable[["Scheduler", board_mod.Commit], float]
+
+#: Match filter signature: may a rendezvous between these two processes
+#: commit right now?  Installed by fault-injecting transports to model
+#: link partitions: a partitioned pair simply never matches, so senders
+#: block (and, with timeouts, expire) until the link heals.
+MatchFilter = Callable[[Process, Process], bool]
 
 
 class RunResult:
@@ -114,6 +121,7 @@ class Scheduler:
         self.max_steps = max_steps
         self.fail_fast = fail_fast
         self.transport = transport
+        self.match_filter: MatchFilter | None = None
         self.now: float = 0.0
         self.total_steps = 0
         self.processes: dict[Hashable, Process] = {}
@@ -124,6 +132,42 @@ class Scheduler:
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._timer_seq = 0
         self._first_failure: ProcessFailure | None = None
+        self._kill_listeners: list[Callable[[Process], None]] = []
+
+    # ------------------------------------------------------------------
+    # Residue introspection (public: soak tests and supervisors use these)
+    # ------------------------------------------------------------------
+
+    @property
+    def board_size(self) -> int:
+        """Number of processes with pending rendezvous offers."""
+        return len(self._board)
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes blocked on a ``WaitUntil`` condition."""
+        return len(self._waiters)
+
+    @property
+    def pending_timer_count(self) -> int:
+        """Number of armed (non-cancelled) timers."""
+        return sum(1 for _, _, handle in self._timers if not handle.cancelled)
+
+    def blocked_only_on(self, aliases: Iterable[Hashable]) -> list[Hashable]:
+        """Names of processes whose *every* pending offer targets ``aliases``.
+
+        Such processes can never commit again if the named aliases are
+        permanently dead — supervisors use this to find rendezvous that a
+        crash has wedged.  Offers open to any partner (receive-from-anyone)
+        disqualify a process, as do offers to other, live addresses.
+        """
+        dead = set(aliases)
+        wedged: list[Hashable] = []
+        for name, group in self._board.groups.items():
+            if group.offers and all(offer.partner_alias in dead
+                                    for offer in group.offers):
+                wedged.append(name)
+        return wedged
 
     # ------------------------------------------------------------------
     # Process management
@@ -144,8 +188,10 @@ class Scheduler:
         """Terminate a process immediately (fault injection).
 
         The process is marked done-with-kill; pending offers, waiters and
-        aliases are cleaned up so partners block (and possibly deadlock,
-        which is faithful to a crashed peer in a synchronous model).
+        aliases are cleaned up.  Kill listeners (see :meth:`on_kill`) then
+        run — supervisors use them to apply a recovery policy; without one,
+        partners block (and possibly deadlock, which is faithful to a
+        crashed peer in a synchronous model).
         """
         process = self.processes.get(name)
         if process is None:
@@ -158,6 +204,32 @@ class Scheduler:
         self._waiters.pop(name, None)
         self._release_aliases(process)
         self.tracer.emit(self.now, EventKind.PROC_DONE, name, killed=True)
+        for listener in list(self._kill_listeners):
+            listener(process)
+
+    def on_kill(self, listener: Callable[[Process], None]) -> None:
+        """Register ``listener`` to be called after every :meth:`kill`."""
+        self._kill_listeners.append(listener)
+
+    def interrupt(self, name: Hashable, exc: BaseException) -> None:
+        """Throw ``exc`` into a process at its current yield point.
+
+        Whatever the process is blocked on is cancelled first: pending
+        rendezvous offers are withdrawn (their expiry timers cancelled),
+        condition waiters removed, and any outstanding ``Delay`` or
+        in-transit resumption is invalidated.  The process resumes with
+        ``exc`` raised inside it; supervisors use this to release
+        survivors of an aborted performance.
+        """
+        process = self.processes.get(name)
+        if process is None:
+            raise UnknownProcessError(f"no process named {name!r}")
+        if process.finished:
+            return
+        self._board.withdraw(name)
+        self._waiters.pop(name, None)
+        self.tracer.emit(self.now, EventKind.INTERRUPT, name, error=repr(exc))
+        self._throw(process, exc)
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> "TimerHandle":
         """Run ``action()`` at virtual time ``time``.
@@ -277,6 +349,24 @@ class Scheduler:
         process.state = ProcessState.READY
         self._ready.append(process)
 
+    def _make_ready_if(self, process: Process, epoch: int,
+                       value: Any = None) -> None:
+        """Timer-safe resume: a no-op if the process was resumed since the
+        timer was armed (its epoch moved on) or has finished."""
+        if process.finished or process.epoch != epoch:
+            return
+        self._make_ready(process, value)
+
+    def _throw(self, process: Process, exc: BaseException) -> None:
+        """Schedule ``exc`` to be raised inside ``process`` and run it."""
+        if process.finished:
+            return
+        already_queued = process.state is ProcessState.READY
+        process.set_resume_exception(exc)
+        if not already_queued:
+            process.state = ProcessState.READY
+            self._ready.append(process)
+
     # ------------------------------------------------------------------
     # Stepping and effect handling
     # ------------------------------------------------------------------
@@ -318,28 +408,75 @@ class Scheduler:
             if self._first_failure is None:
                 self._first_failure = ProcessFailure(process.name, exc)
 
+    def _post_group(self, process: Process, group: OfferGroup,
+                    timeout: float | None = None,
+                    on_expiry: Callable[[Process], None] | None = None) -> None:
+        """Block ``process`` on its offers, optionally with an expiry timer.
+
+        ``on_expiry`` runs only if the offers are still on the board when
+        the timer fires; a commit (or interrupt) beforehand withdraws the
+        group, which cancels the timer.
+        """
+        process.state = ProcessState.BLOCKED
+        process.blocked_reason = group.describe()
+        self._board.post(group)
+        if timeout is None:
+            return
+
+        def expire() -> None:
+            if self._board.groups.get(process.name) is not group:
+                return  # already committed; stale timer
+            self._board.withdraw(process.name)
+            self.tracer.emit(self.now, EventKind.TIMEOUT, process.name,
+                             waiting=group.describe())
+            on_expiry(process)
+
+        group.expiry = self._push_timer(self.now + timeout, expire)
+
     def _handle_effect(self, process: Process, effect: Any) -> None:
         if isinstance(effect, (Send, Receive)):
-            group = make_group(process, [effect], plain=True)
-            process.state = ProcessState.BLOCKED
-            process.blocked_reason = group.describe()
-            self._board.post(group)
+            self._post_group(process, make_group(process, [effect], plain=True))
+        elif isinstance(effect, ReceiveTimeout):
+            receive = Receive(effect.frm, tag=effect.tag,
+                              with_sender=effect.with_sender)
+            self._post_group(
+                process, make_group(process, [receive], plain=True),
+                timeout=effect.timeout,
+                on_expiry=lambda p: self._make_ready(p, TIMED_OUT))
+        elif isinstance(effect, Deadline):
+            inner = effect.effect
+            if isinstance(inner, (Send, Receive)):
+                group = make_group(process, [inner], plain=True)
+            elif isinstance(inner, Select):
+                group = make_group(process, inner.branches, plain=False)
+            else:
+                raise InvalidEffectError(
+                    f"Deadline wraps Send/Receive/Select, got {inner!r}")
+            deadline = self.now + effect.timeout
+            self._post_group(
+                process, group, timeout=effect.timeout,
+                on_expiry=lambda p, t=deadline, g=group: self._throw(
+                    p, TimeoutError(p.name, t, g.describe())))
         elif isinstance(effect, Select):
             group = make_group(process, effect.branches, plain=False)
             if effect.immediate:
-                if not self._board.candidates_for(group, self.alias_owner):
+                if not self._matchable(group):
                     self._make_ready(process, board_mod.else_result())
                     return
-            process.state = ProcessState.BLOCKED
-            process.blocked_reason = group.describe()
-            self._board.post(group)
+            on_expiry = None
+            if effect.timeout is not None:
+                on_expiry = lambda p: self._make_ready(  # noqa: E731
+                    p, SelectResult(index=TIMED_OUT_BRANCH))
+            self._post_group(process, group, timeout=effect.timeout,
+                             on_expiry=on_expiry)
         elif isinstance(effect, Delay):
             process.state = ProcessState.BLOCKED
             process.blocked_reason = f"delay({effect.duration})"
             self.tracer.emit(self.now, EventKind.DELAY, process.name,
                              duration=effect.duration)
-            self._push_timer(self.now + effect.duration,
-                             lambda p=process: self._make_ready(p))
+            self._push_timer(
+                self.now + effect.duration,
+                lambda p=process, e=process.epoch: self._make_ready_if(p, e))
         elif isinstance(effect, WaitUntil):
             if effect.predicate():
                 self._make_ready(process)
@@ -383,13 +520,26 @@ class Scheduler:
     # Settling: rendezvous matching and condition wake-ups
     # ------------------------------------------------------------------
 
+    def _filter_commits(self, commits: list[board_mod.Commit]
+                        ) -> list[board_mod.Commit]:
+        if self.match_filter is None:
+            return commits
+        allow = self.match_filter
+        return [c for c in commits if allow(c.sender, c.receiver)]
+
+    def _matchable(self, group: OfferGroup) -> bool:
+        """Could ``group`` commit right now (respecting the match filter)?"""
+        return bool(self._filter_commits(
+            self._board.candidates_for(group, self.alias_owner)))
+
     def _settle(self) -> None:
         """Commit matchable rendezvous and wake satisfied waiters to fixpoint."""
         changed = True
         while changed:
             changed = False
             while True:
-                candidates = self._board.candidates(self.alias_owner)
+                candidates = self._filter_commits(
+                    self._board.candidates(self.alias_owner))
                 if not candidates:
                     break
                 commit = self.rng.choice(candidates)
@@ -419,10 +569,12 @@ class Scheduler:
         if delay > 0:
             self._push_timer(
                 self.now + delay,
-                lambda p=commit.sender, v=sender_result: self._make_ready(p, v))
+                lambda p=commit.sender, e=commit.sender.epoch,
+                v=sender_result: self._make_ready_if(p, e, v))
             self._push_timer(
                 self.now + delay,
-                lambda p=commit.receiver, v=receiver_result: self._make_ready(p, v))
+                lambda p=commit.receiver, e=commit.receiver.epoch,
+                v=receiver_result: self._make_ready_if(p, e, v))
             commit.sender.blocked_reason = "message in transit"
             commit.receiver.blocked_reason = "message in transit"
         else:

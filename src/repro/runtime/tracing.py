@@ -22,13 +22,18 @@ class EventKind(enum.Enum):
     PROC_FAIL = "proc_fail"
     COMM = "comm"                     # a rendezvous committed
     DELAY = "delay"
+    TIMEOUT = "timeout"               # a Deadline/ReceiveTimeout/Select expired
+    INTERRUPT = "interrupt"           # an exception was thrown into a process
+    FAULT = "fault"                   # an injected fault event fired
     # Script-layer events (emitted by repro.core):
     ENROLL_REQUEST = "enroll_request"
     ENROLL_ACCEPT = "enroll_accept"
     PERFORMANCE_START = "performance_start"
     ROLE_START = "role_start"
     ROLE_END = "role_end"
+    ROLE_CRASH = "role_crash"         # a filled role's process crashed
     PERFORMANCE_END = "performance_end"
+    PERFORMANCE_ABORT = "performance_abort"
     # User-defined events (via the Trace effect):
     USER = "user"
 

@@ -1,0 +1,171 @@
+"""FaultPlan: construction, generation, installation, and network faults."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import CRASH, FaultEvent, FaultPlan
+from repro.net import NetworkTransport, Topology
+from repro.runtime import (TIMED_OUT, Delay, EventKind, Receive,
+                           ReceiveTimeout, Scheduler, Send)
+
+
+def test_events_kept_in_time_order():
+    plan = FaultPlan().crash(5.0, "b").crash(1.0, "a").crash(3.0, "c")
+    assert [e.time for e in plan] == [1.0, 3.0, 5.0]
+    assert len(plan) == 3
+
+
+def test_event_validation():
+    with pytest.raises(FaultPlanError):
+        FaultEvent(1.0, "meteor")
+    with pytest.raises(FaultPlanError):
+        FaultEvent(-1.0, CRASH)
+    with pytest.raises(FaultPlanError):
+        FaultPlan().partition(5.0, "a", "b", heal_at=4.0)
+    with pytest.raises(FaultPlanError):
+        FaultPlan().slow(1.0, 0.0)
+    with pytest.raises(FaultPlanError):
+        FaultPlan().drop(1.0, -2)
+
+
+def test_random_plans_are_seed_reproducible():
+    kwargs = dict(processes=["p", "q", "r"], links=[("a", "b")],
+                  horizon=20.0, crashes=2, partitions=1, slow_windows=1,
+                  drop_windows=1)
+    first = FaultPlan.random(7, **kwargs)
+    second = FaultPlan.random(7, **kwargs)
+    assert first.events == second.events
+    assert first.describe() == second.describe()
+    other = FaultPlan.random(8, **kwargs)
+    assert other.events != first.events
+
+
+def test_network_events_require_a_transport():
+    plan = FaultPlan().partition(1.0, "a", "b")
+    with pytest.raises(FaultPlanError):
+        plan.install(Scheduler())
+
+
+def test_crash_event_kills_a_running_process():
+    scheduler = Scheduler()
+
+    def sleeper():
+        yield Delay(100.0)
+        return "woke"
+
+    scheduler.spawn("sleeper", sleeper())
+    FaultPlan().crash(2.0, "sleeper").install(scheduler)
+    result = scheduler.run()
+    assert "sleeper" in result.killed
+    assert "sleeper" not in result.results
+    faults = [e for e in result.tracer if e.kind is EventKind.FAULT]
+    assert len(faults) == 1 and faults[0].get("applied") is True
+
+
+def test_crash_aimed_at_a_missing_process_is_recorded_not_fatal():
+    scheduler = Scheduler()
+
+    def real():
+        yield Delay(2.0)
+
+    scheduler.spawn("real", real())
+    FaultPlan().crash(1.0, "ghost").install(scheduler)
+    result = scheduler.run()
+    assert result.killed == []
+    faults = [e for e in result.tracer if e.kind is EventKind.FAULT]
+    assert len(faults) == 1 and faults[0].get("applied") is False
+
+
+def _two_node_transport():
+    topology = Topology("pair")
+    topology.add_link("a", "b", 1.0)
+    return NetworkTransport(topology, {"sender": "a", "receiver": "b"})
+
+
+def test_partition_blocks_rendezvous_until_heal():
+    scheduler = Scheduler()
+    transport = _two_node_transport()
+    scheduler.transport = transport
+
+    def sender():
+        yield Delay(1.0)
+        yield Send("receiver", "through")
+
+    def receiver():
+        value = yield Receive()
+        return value
+
+    scheduler.spawn("sender", sender())
+    scheduler.spawn("receiver", receiver())
+    FaultPlan().partition(0.5, "a", "b", heal_at=5.0).install(
+        scheduler, transport=transport)
+    result = scheduler.run()
+    assert result.results["receiver"] == "through"
+    # Blocked across the cut from t=1 to the heal at t=5, then one unit of
+    # link latency for delivery.
+    assert result.time == 6.0
+    assert scheduler.match_filter == transport.match_filter
+
+
+def test_partition_survived_by_timeout_and_retry():
+    scheduler = Scheduler()
+    transport = _two_node_transport()
+    scheduler.transport = transport
+
+    def sender():
+        yield Delay(1.0)  # offer only once the partition is up
+        yield Send("receiver", "eventually")
+
+    def receiver():
+        attempts = 0
+        while True:
+            value = yield ReceiveTimeout(timeout=2.0)
+            if value is TIMED_OUT:
+                attempts += 1
+                continue
+            return attempts, value
+
+    scheduler.spawn("sender", sender())
+    scheduler.spawn("receiver", receiver())
+    FaultPlan().partition(0.5, "a", "b", heal_at=6.5).install(
+        scheduler, transport=transport)
+    result = scheduler.run()
+    attempts, value = result.results["receiver"]
+    assert value == "eventually"
+    assert attempts == 3  # expiries at t=2, 4, 6; the heal beats the next
+    assert scheduler.pending_timer_count == 0
+
+
+def test_slow_and_drop_windows_mutate_and_restore_the_transport():
+    scheduler = Scheduler()
+    transport = _two_node_transport()
+    plan = (FaultPlan()
+            .slow(1.0, 4.0, until=3.0)
+            .drop(2.0, 2, until=5.0))
+    plan.install(scheduler, transport=transport)
+
+    def bystander():
+        yield Delay(1.5)
+        first = (transport.latency_factor, transport.drop_retries)
+        yield Delay(1.0)
+        second = (transport.latency_factor, transport.drop_retries)
+        yield Delay(4.0)
+        third = (transport.latency_factor, transport.drop_retries)
+        return first, second, third
+
+    scheduler.spawn("bystander", bystander())
+    result = scheduler.run()
+    assert result.results["bystander"] == (
+        (4.0, 0),   # t=1.5: inside the latency spike, before the drops
+        (4.0, 2),   # t=2.5: spike and drop window overlap
+        (1.0, 0))   # t=6.5: everything restored
+
+
+def test_describe_is_human_readable():
+    plan = (FaultPlan().crash(1.0, "p").partition(2.0, "a", "b")
+            .slow(3.0, 2.0).drop(4.0, 1))
+    lines = plan.describe()
+    assert lines[0] == "t=1 crash 'p'"
+    assert "partition" in lines[1]
+    assert "latency x2" in lines[2]
+    assert "drop retries=1" in lines[3]

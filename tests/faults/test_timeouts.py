@@ -1,0 +1,135 @@
+"""Kernel timeout effects: Deadline, ReceiveTimeout, and Select timeouts."""
+
+import pytest
+
+from repro import errors
+from repro.runtime import (TIMED_OUT, TIMED_OUT_BRANCH, Deadline, Delay,
+                           Receive, ReceiveTimeout, Scheduler, Select, Send,
+                           run_processes)
+
+
+def test_receive_timeout_expires_to_distinguished_value():
+    def lonely():
+        value = yield ReceiveTimeout(timeout=5.0)
+        return value
+
+    result = run_processes({"lonely": lonely()})
+    assert result.results["lonely"] is TIMED_OUT
+    assert not result.results["lonely"]  # TIMED_OUT is falsy
+    assert result.time == 5.0
+
+
+def test_receive_timeout_delivers_when_partner_arrives_in_time():
+    def receiver():
+        value = yield ReceiveTimeout(timeout=10.0)
+        return value
+
+    def sender():
+        yield Delay(2.0)
+        yield Send("receiver", "hello")
+
+    result = run_processes({"receiver": receiver(), "sender": sender()})
+    assert result.results["receiver"] == "hello"
+    assert result.time == 2.0  # the expiry timer was cancelled, not awaited
+
+
+def test_receive_timeout_retry_loop_survives_a_late_sender():
+    def receiver():
+        attempts = 0
+        while True:
+            value = yield ReceiveTimeout(timeout=1.0)
+            if value is TIMED_OUT:
+                attempts += 1
+                continue
+            return attempts, value
+
+    def sender():
+        yield Delay(3.5)
+        yield Send("receiver", 42)
+
+    result = run_processes({"receiver": receiver(), "sender": sender()})
+    attempts, value = result.results["receiver"]
+    assert attempts == 3 and value == 42
+
+
+def test_deadline_raises_kernel_timeout_error():
+    def impatient():
+        try:
+            yield Deadline(Receive("nobody"), timeout=4.0)
+        except errors.TimeoutError as exc:
+            return exc.deadline, exc.process_name
+        return None
+
+    result = run_processes({"impatient": impatient()})
+    assert result.results["impatient"] == (4.0, "impatient")
+    assert result.time == 4.0
+
+
+def test_deadline_is_a_runtime_kernel_error():
+    assert issubclass(errors.TimeoutError, errors.RuntimeKernelError)
+
+
+def test_deadline_passes_through_on_commit():
+    def sender():
+        yield Deadline(Send("receiver", "v"), timeout=50.0)
+        return "sent"
+
+    def receiver():
+        value = yield Receive()
+        return value
+
+    result = run_processes({"sender": sender(), "receiver": receiver()})
+    assert result.results == {"sender": "sent", "receiver": "v"}
+    assert result.time == 0.0  # stale deadline timer neither fires nor holds
+
+
+def test_select_timeout_arm_fires_when_nothing_commits():
+    def chooser():
+        result = yield Select([Receive("ghost")], timeout=2.5)
+        return result.index
+
+    result = run_processes({"chooser": chooser()})
+    assert result.results["chooser"] == TIMED_OUT_BRANCH
+    assert result.time == 2.5
+
+
+def test_select_timeout_arm_loses_to_a_ready_branch():
+    def chooser():
+        result = yield Select([Receive("friend")], timeout=9.0)
+        return result.index, result.value
+
+    def friend():
+        yield Send("chooser", "on time")
+
+    result = run_processes({"chooser": chooser(), "friend": friend()})
+    assert result.results["chooser"] == (0, "on time")
+    assert result.time == 0.0
+
+
+def test_immediate_select_rejects_timeout():
+    with pytest.raises(ValueError):
+        Select([Receive("x")], immediate=True, timeout=1.0)
+
+
+def test_negative_timeouts_rejected():
+    with pytest.raises(ValueError):
+        ReceiveTimeout(timeout=-1.0)
+    with pytest.raises(ValueError):
+        Deadline(Receive("x"), timeout=-0.5)
+    with pytest.raises(ValueError):
+        Select([Receive("x")], timeout=-2.0)
+
+
+def test_expired_timeout_leaves_no_board_residue():
+    scheduler = Scheduler()
+
+    def lonely():
+        value = yield ReceiveTimeout(timeout=1.0)
+        assert value is TIMED_OUT
+        yield Delay(1.0)  # keep running after the expiry
+
+    scheduler.spawn("lonely", lonely())
+    scheduler.run()
+    assert scheduler.board_size == 0
+    assert scheduler.waiter_count == 0
+    assert scheduler.pending_timer_count == 0

@@ -20,4 +20,5 @@ def test_example_runs(path, capsys):
 def test_expected_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "broadcast_patterns", "replicated_database",
-            "three_hosts", "open_chatroom", "script_language"} <= names
+            "three_hosts", "open_chatroom", "script_language",
+            "chaos_broadcast"} <= names

@@ -34,8 +34,8 @@ def test_hundred_broadcast_performances_leave_no_residue():
     # No residue: every role alias dropped, every request consumed, the
     # rendezvous board drained, no condition waiters left.
     assert not scheduler.alias_owner
-    assert len(scheduler._board) == 0
-    assert not scheduler._waiters
+    assert scheduler.board_size == 0
+    assert scheduler.waiter_count == 0
     assert instance.pending_count == 0
     # Invariants hold over the entire 100-performance trace.
     report = check_all(scheduler.tracer, instance.name)
