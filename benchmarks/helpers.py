@@ -15,10 +15,17 @@ from repro.scripts.broadcast import data_param_name, sender_role_name
 
 
 def run_engine_broadcast(n: int, strategy: str, seed: int = 0,
-                         transport=None, performances: int = 1):
-    """Run an engine broadcast; return (scheduler, instance)."""
+                         transport=None, performances: int = 1,
+                         metrics=None):
+    """Run an engine broadcast; return (scheduler, instance).
+
+    Pass a :class:`repro.obs.RuntimeMetrics` as ``metrics`` to attach it
+    (scheduler hooks plus transport, when given) for the run.
+    """
     script = make_broadcast(n, strategy)
     scheduler = Scheduler(seed=seed, transport=transport)
+    if metrics is not None:
+        metrics.attach(scheduler, transport)
     instance = script.instance(scheduler)
     sender_role = sender_role_name(script)
     param = data_param_name(script, sender_role)
@@ -50,6 +57,34 @@ def time_in_script(scheduler: Scheduler, instance) -> dict[object, float]:
     """Delegates to :func:`repro.verification.time_in_script`."""
     from repro.verification import time_in_script as measure
     return measure(scheduler.tracer, instance)
+
+
+def metrics_summary_rows(runs: dict[int, "object"]) -> list[tuple]:
+    """Registry percentiles per swept size, for :func:`print_series`.
+
+    ``runs`` maps the sweep variable (e.g. recipient count) to the
+    :class:`repro.obs.RuntimeMetrics` collected at that size; the row
+    reports the rendezvous match-latency and performance-duration
+    distributions alongside the board-size peak.
+    """
+    rows = []
+    for size, metrics in sorted(runs.items()):
+        registry = metrics.registry
+        match = registry.histogram("rendezvous_match_latency")
+        duration = registry.histogram("performance_duration")
+        board = registry.gauge("board_size")
+        rows.append((size, match.count, float(match.mean),
+                     float(match.quantile(0.9)), float(duration.mean),
+                     float(board.max or 0)))
+    return rows
+
+
+def print_metrics_summary(title: str, runs: dict[int, "object"]) -> None:
+    """Print the metrics-registry summary series for a sweep."""
+    print_series(title,
+                 ["n", "matches", "match_mean", "match_p90",
+                  "perf_dur_mean", "board_peak"],
+                 metrics_summary_rows(runs))
 
 
 def print_series(title: str, header: list[str],

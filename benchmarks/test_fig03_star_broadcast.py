@@ -13,7 +13,8 @@ import pytest
 from repro.net import NetworkTransport, Topology
 from repro.verification import check_broadcast_delivery, performances_in
 
-from helpers import print_series, run_engine_broadcast
+from helpers import (print_metrics_summary, print_series,
+                     run_engine_broadcast)
 
 
 def hub_transport(n):
@@ -41,18 +42,31 @@ def test_fig03_star_broadcast_n5(benchmark):
 
 
 def test_fig03_star_scaling_series(benchmark):
+    from repro.obs import RuntimeMetrics
+
+    registries = {}
+
     def sweep():
         rows = []
         for n in (2, 4, 8, 16, 32):
-            scheduler, instance, transport = run_star(n)
+            transport = hub_transport(n)
+            metrics = registries[n] = RuntimeMetrics()
+            scheduler, instance = run_engine_broadcast(
+                n, "star", transport=transport, metrics=metrics)
             rows.append((n, scheduler.now, transport.stats.messages))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
     print_series("Figure 3: star broadcast scaling (hub network)",
                  ["recipients", "virtual time", "messages"], rows)
+    print_metrics_summary("Figure 3: registry summary per size", registries)
     # Linear shape: time == messages == n (unit-latency hub links,
     # sequential sends).
     for n, time, messages in rows:
         assert messages == n
         assert time == pytest.approx(n)
+    # The metrics registry saw every rendezvous at every size.
+    for n, metrics in registries.items():
+        assert metrics.registry.counter("comms_total").value == n
+        assert metrics.registry.histogram(
+            "rendezvous_match_latency").count > 0

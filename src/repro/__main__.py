@@ -10,7 +10,10 @@ Commands:
 * ``demo broadcast``     — run a broadcast and print the delivery table;
 * ``demo lock``          — run the Figure 5 lock-manager workload;
 * ``demo election``      — run a ring leader election;
-* ``chaos <script>``     — soak a script under seeded fault injection.
+* ``chaos <script>``     — soak a script under seeded fault injection;
+* ``trace <scenario>``   — run an instrumented scenario and export its
+  span tree as Chrome trace-event JSON (plus optional JSONL);
+* ``stats <scenario>``   — run a scenario and print its metrics summary.
 
 The CLI is a thin shell over the library; every command is available
 programmatically (see the modules referenced in each handler).
@@ -177,6 +180,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario and export its span tree (Chrome trace + JSONL)."""
+    from .obs import (build_spans, dump_chrome_trace, dump_spans_jsonl,
+                      run_scenario, span_tree_lines)
+    run = run_scenario(args.scenario, seed=args.seed, n=args.n)
+    spans = build_spans(run.scheduler.tracer.snapshot())
+    out = args.out or f"trace-{args.scenario}.json"
+    with open(out, "w", encoding="utf-8", newline="") as handle:
+        handle.write(dump_chrome_trace(spans))
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8", newline="") as handle:
+            handle.write(dump_spans_jsonl(spans))
+    print(f"{run.name} (seed {args.seed}): {run.headline}")
+    print(f"wrote {len(spans)} spans to {out}"
+          + (f" and {args.jsonl}" if args.jsonl else ""))
+    print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+    if args.tree:
+        print()
+        for line in span_tree_lines(spans):
+            print(line)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a scenario and print its metrics-registry summary."""
+    import json
+
+    from .obs import jsonable, run_scenario
+    run = run_scenario(args.scenario, seed=args.seed, n=args.n)
+    if args.json:
+        print(json.dumps(jsonable(run.metrics.to_dict()), sort_keys=True,
+                         indent=2))
+        return 0
+    print(f"{run.name} (seed {args.seed}): {run.headline}")
+    print()
+    for line in run.metrics.summary_lines():
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -222,6 +265,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also replay the base seed twice and compare "
                             "traces")
     chaos.set_defaults(handler=cmd_chaos)
+
+    from .obs.scenarios import SCENARIOS
+
+    trace = sub.add_parser("trace", help="run a scenario and export its "
+                                         "span tree (Chrome trace JSON)")
+    trace.add_argument("scenario", choices=SCENARIOS)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--n", type=int, default=5,
+                       help="scenario size (recipients/stations)")
+    trace.add_argument("--out", default=None,
+                       help="Chrome trace output path "
+                            "(default trace-<scenario>.json)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also dump spans as JSONL to this path")
+    trace.add_argument("--tree", action="store_true",
+                       help="print the span tree to stdout as well")
+    trace.set_defaults(handler=cmd_trace)
+
+    stats = sub.add_parser("stats", help="run a scenario and print its "
+                                         "metrics summary")
+    stats.add_argument("scenario", choices=SCENARIOS)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--n", type=int, default=5,
+                       help="scenario size (recipients/stations)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of text")
+    stats.set_defaults(handler=cmd_stats)
     return parser
 
 

@@ -87,6 +87,15 @@ class ScriptInstance:
         self.performances: list[Performance] = []
         self._perf_seq = itertools.count(1)
         self._request_seq = itertools.count()
+        # Announce the instance and its policies into the trace so the
+        # observability layer can attribute spans without reaching back
+        # into live objects (exports must be buildable from events alone).
+        self._emit(EventKind.INSTANCE_CREATED, None,
+                   script=script.name,
+                   initiation=script.initiation.value,
+                   termination=script.termination.value,
+                   critical_sets=[sorted(s, key=repr)
+                                  for s in script.critical_sets])
 
     # ------------------------------------------------------------------
     # Public API

@@ -23,6 +23,7 @@ import dataclasses
 from collections import Counter
 from typing import Hashable, Mapping, TYPE_CHECKING
 
+from ..runtime.instrument import NULL_SINK, Sink
 from .topology import Topology, TopologyError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,13 +89,15 @@ class NetworkTransport:
 
     def __init__(self, topology: Topology,
                  placement: Mapping[Hashable, Node],
-                 default_node: Node | None = None):
+                 default_node: Node | None = None,
+                 sink: Sink | None = None):
         self.topology = topology
         self.placement = dict(placement)
         self.default_node = default_node
         self.stats = MessageStats()
         self.latency_factor = 1.0
         self.drop_retries = 0
+        self.sink = sink if sink is not None else NULL_SINK
 
     def node_of(self, process: Hashable) -> Node:
         node = self.placement.get(process, self.default_node)
@@ -144,4 +147,6 @@ class NetworkTransport:
             self.stats.dropped += self.drop_retries
             latency *= 1 + self.drop_retries
         self.stats.record(src, dst, latency)
+        if self.sink:
+            self.sink.on_message(scheduler.now, src, dst, latency)
         return latency

@@ -1,0 +1,47 @@
+"""Observability layer: span trees, metrics, and exportable profiles.
+
+Built entirely on the deterministic trace pipeline, this package makes the
+paper's claims *inspectable*: where performances stall (span trees over
+initiation/termination policies), how faults propagate (crash causes and
+abort spans), and which kernel paths are hot (virtual-time histograms fed
+by scheduler/board/transport hooks).  Nothing here reads a wall clock —
+identical seeds produce byte-identical exports.
+
+Three parts:
+
+* :mod:`~repro.obs.spans` / :mod:`~repro.obs.export` — hierarchical spans
+  derived from :class:`~repro.runtime.tracing.TraceEvent` streams, exported
+  to Chrome trace-event JSON (Perfetto-loadable) and JSONL;
+* :mod:`~repro.obs.metrics` — a counter/gauge/histogram registry plus
+  :class:`RuntimeMetrics`, the standard scheduler/transport sink;
+* :mod:`~repro.obs.scenarios` — instrumented demo workloads behind the
+  ``python -m repro trace`` and ``python -m repro stats`` commands.
+"""
+
+from .export import (dump_chrome_trace, dump_spans_jsonl, jsonable,
+                     load_spans_jsonl, span_to_dict, to_chrome_trace)
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, RuntimeMetrics)
+from .scenarios import SCENARIOS, ScenarioRun, run_scenario
+from .spans import Span, build_spans, span_tree_lines
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RuntimeMetrics",
+    "SCENARIOS",
+    "ScenarioRun",
+    "Span",
+    "build_spans",
+    "dump_chrome_trace",
+    "dump_spans_jsonl",
+    "jsonable",
+    "load_spans_jsonl",
+    "run_scenario",
+    "span_to_dict",
+    "span_tree_lines",
+    "to_chrome_trace",
+]

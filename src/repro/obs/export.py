@@ -1,0 +1,149 @@
+"""Exporters: Chrome trace-event JSON and replayable JSONL span dumps.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) renders
+the span tree as tracks: one *control* track carrying the run, instance and
+performance spans, plus one track per process carrying its role spans,
+enrollment spans and instant marks.  Virtual time is scaled by a fixed
+factor (one virtual-time unit displays as one millisecond); there is no
+wall-clock anywhere, so identical seeds serialize to *byte-identical*
+files — ``json.dumps`` with sorted keys and fixed separators.
+
+The JSONL export is one span per line in causal order, for replay and
+diffing across seeds or code versions (``diff a.jsonl b.jsonl`` localizes
+a determinism break to the first diverging span).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from .spans import Span
+
+#: Chrome trace ``ts`` values per virtual-time unit (1 unit -> 1 ms shown).
+TIME_SCALE = 1000.0
+
+#: Span kinds that share the control track.
+_CONTROL_KINDS = frozenset({"run", "instance", "performance"})
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-serializable data.
+
+    Primitives pass through; mappings and sequences convert their members;
+    anything else is ``repr``-ed, which is deterministic for everything the
+    runtime puts into event details.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {k if isinstance(k, str) else repr(k): jsonable(v)
+                for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(
+            value, (set, frozenset)) else value
+        return [jsonable(item) for item in items]
+    return repr(value)
+
+
+def _lane_key(span: Span, by_sid: dict[str, Span]) -> str:
+    """Track key for a span: 'control', or the owning process's lane."""
+    if span.kind in _CONTROL_KINDS:
+        return "control"
+    if span.kind == "process":
+        return span.sid
+    process = span.attrs.get("process")
+    if process is not None:
+        return f"proc:{process!r}"
+    parent = by_sid.get(span.parent) if span.parent else None
+    if parent is not None:
+        return _lane_key(parent, by_sid)
+    return "control"
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Build a Chrome trace-event document (a plain dict) from spans."""
+    spans = list(spans)
+    by_sid = {span.sid: span for span in spans}
+    depth: dict[str, int] = {}
+    for span in spans:  # creation order: parents precede children
+        depth[span.sid] = 0 if span.parent is None \
+            else depth.get(span.parent, 0) + 1
+    lanes: dict[str, int] = {}
+    lane_names: dict[int, str] = {}
+    records: list[tuple[tuple[float, int, float, str],
+                        dict[str, Any]]] = []
+
+    for span in spans:
+        key = _lane_key(span, by_sid)
+        tid = lanes.get(key)
+        if tid is None:
+            tid = lanes[key] = len(lanes)
+            if key == "control":
+                lane_names[tid] = "script control"
+            elif "process" in span.attrs:
+                lane_names[tid] = str(span.attrs["process"])
+            else:
+                lane_names[tid] = span.name
+        args = {name: jsonable(value)
+                for name, value in sorted(span.attrs.items())}
+        args["sid"] = span.sid
+        if span.parent is not None:
+            args["parent"] = span.parent
+        common = {"name": span.name, "cat": span.kind, "pid": 1, "tid": tid,
+                  "ts": span.start * TIME_SCALE, "args": args}
+        if span.instant:
+            common.update(ph="i", s="t")
+            records.append(((common["ts"], depth[span.sid], 1.0, span.sid),
+                            common))
+        else:
+            duration = (span.end - span.start) * TIME_SCALE
+            common.update(ph="X", dur=duration)
+            records.append(((common["ts"], depth[span.sid], -duration,
+                             span.sid), common))
+
+    # Metadata first, then events by (ts, depth, widest-first, sid): at
+    # equal timestamps a parent span must precede its children for correct
+    # nesting, and instants come last.
+    events: list[dict[str, Any]] = [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid, "ts": 0,
+         "args": {"name": lane_names[tid]}}
+        for tid in sorted(lane_names)]
+    events.extend(record for _, record in sorted(records,
+                                                 key=lambda r: r[0]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(spans: Iterable[Span]) -> str:
+    """Serialize spans to a canonical (byte-stable) Chrome trace string."""
+    return json.dumps(to_chrome_trace(spans), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """JSON-able dict for one span (the JSONL record shape)."""
+    return {"sid": span.sid, "parent": span.parent, "kind": span.kind,
+            "name": span.name, "start": span.start, "end": span.end,
+            "instant": span.instant, "attrs": jsonable(span.attrs)}
+
+
+def dump_spans_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize spans to JSONL, one causal-order span per line."""
+    return "".join(json.dumps(span_to_dict(span), sort_keys=True,
+                              separators=(",", ":")) + "\n"
+                   for span in spans)
+
+
+def load_spans_jsonl(text: str) -> list[Span]:
+    """Parse a JSONL dump back into :class:`Span` objects (for diffing)."""
+    spans = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        spans.append(Span(sid=record["sid"], parent=record["parent"],
+                          kind=record["kind"], name=record["name"],
+                          start=record["start"], end=record["end"],
+                          attrs=record["attrs"],
+                          instant=record["instant"]))
+    return spans

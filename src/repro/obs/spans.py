@@ -1,0 +1,303 @@
+"""Span trees: hierarchical, causally-linked views of a trace.
+
+A flat :class:`~repro.runtime.tracing.TraceEvent` list answers "what
+happened"; a span tree answers "inside what".  :func:`build_spans` derives,
+from events alone (no live objects), the hierarchy
+
+    run
+    ├── process lifecycle spans (spawn -> done/fail)
+    └── script instance spans (policies, critical sets as attributes)
+        └── performance spans (binding; abort carries the crash cause)
+            └── role spans (enrolled process; crashes marked)
+                └── instants: communications, timeouts, faults, interrupts
+
+Span ids are *stable*: they are path-like strings built from instance,
+performance and role names plus the deterministic event sequence numbers,
+so identical seeds produce identical span lists — exports diff cleanly
+across runs and refactors.  Enrollment spans (request -> accept/withdraw)
+hang off the enrolling process's lane, since they precede the performance
+they may end up joining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable, Iterable
+
+from ..runtime.tracing import EventKind, TraceEvent, Tracer, compact_role
+
+#: Span kinds, outermost to innermost.
+KINDS = ("run", "process", "instance", "performance", "role", "enroll",
+         "instant")
+
+
+@dataclasses.dataclass(slots=True)
+class Span:
+    """One node of the span tree.
+
+    ``end`` is ``None`` while open; :func:`build_spans` closes leftovers at
+    the trace's final timestamp and marks them ``attrs["unfinished"]``.
+    Instants are zero-width marks (``instant=True``, ``end == start``).
+    """
+
+    sid: str
+    parent: str | None
+    kind: str
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = dataclasses.field(default_factory=dict)
+    instant: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Virtual-time width (0 while open or instant)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _Builder:
+    """Single pass over the event stream, maintaining open-span state."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.run: Span | None = None
+        self.instances: dict[str, Span] = {}
+        self.performances: dict[str, Span] = {}
+        self.roles: dict[tuple[str, str], Span] = {}
+        self.role_of_process: dict[Hashable, Span] = {}
+        self.processes: dict[Hashable, Span] = {}
+        self.enrolls: dict[tuple[str, Hashable], Span] = {}
+
+    # -- span helpers ------------------------------------------------------
+
+    def _open(self, span: Span) -> Span:
+        self.spans.append(span)
+        return span
+
+    def _ensure_run(self, time: float) -> Span:
+        if self.run is None:
+            self.run = self._open(Span("run", None, "run", "run", time))
+        return self.run
+
+    def _ensure_instance(self, name: str, time: float) -> Span:
+        span = self.instances.get(name)
+        if span is None:
+            run = self._ensure_run(time)
+            span = self._open(Span(f"instance:{name}", run.sid, "instance",
+                                   name, time))
+            self.instances[name] = span
+        return span
+
+    def _ensure_process(self, process: Hashable, time: float) -> Span:
+        span = self.processes.get(process)
+        if span is None:
+            run = self._ensure_run(time)
+            span = self._open(Span(f"proc:{process!r}", run.sid, "process",
+                                   str(process), time))
+            self.processes[process] = span
+        return span
+
+    def _instant(self, event: TraceEvent, name: str, parent: str,
+                 **attrs: Any) -> Span:
+        return self._open(Span(f"ev:{event.seq}", parent, "instant", name,
+                               event.time, event.time, attrs, instant=True))
+
+    def _instant_parent(self, event: TraceEvent) -> str:
+        """Most specific open span an instant can be attributed to."""
+        role = self.role_of_process.get(event.process)
+        if role is not None and role.end is None:
+            return role.sid
+        to = event.get("to")
+        performance = getattr(to, "performance_id", None) \
+            or event.get("performance")
+        if performance in self.performances:
+            return self.performances[performance].sid
+        instance = event.get("instance")
+        if instance in self.instances:
+            return self.instances[instance].sid
+        if event.process in self.processes:
+            return self.processes[event.process].sid
+        return self._ensure_run(event.time).sid
+
+    # -- the event dispatch ------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        self._ensure_run(event.time)
+        kind = event.kind
+        if kind is EventKind.SPAWN:
+            self._ensure_process(event.process, event.time)
+        elif kind in (EventKind.PROC_DONE, EventKind.PROC_FAIL):
+            span = self._ensure_process(event.process, event.time)
+            span.end = event.time
+            if event.get("killed"):
+                span.attrs["killed"] = True
+            if kind is EventKind.PROC_FAIL:
+                span.attrs["error"] = event.get("error")
+        elif kind is EventKind.INSTANCE_CREATED:
+            span = self._ensure_instance(event.get("instance"), event.time)
+            span.attrs.update(
+                script=event.get("script"),
+                initiation=event.get("initiation"),
+                termination=event.get("termination"),
+                critical_sets=event.get("critical_sets"))
+        elif kind is EventKind.ENROLL_REQUEST:
+            self._enroll_request(event)
+        elif kind is EventKind.ENROLL_ACCEPT:
+            self._enroll_accept(event)
+        elif kind is EventKind.PERFORMANCE_START:
+            instance = self._ensure_instance(event.get("instance"),
+                                             event.time)
+            performance = event.get("performance")
+            self.performances[performance] = self._open(
+                Span(f"perf:{performance}", instance.sid, "performance",
+                     performance, event.time,
+                     attrs={"binding": event.get("binding")}))
+        elif kind is EventKind.ROLE_START:
+            self._role_start(event)
+        elif kind is EventKind.ROLE_END:
+            self._role_close(event, outcome="done")
+        elif kind is EventKind.ROLE_CRASH:
+            self._role_close(event, outcome="crashed")
+        elif kind is EventKind.PERFORMANCE_END:
+            span = self.performances.get(event.get("performance"))
+            if span is not None:
+                span.end = event.time
+                span.attrs["filled"] = event.get("filled")
+        elif kind is EventKind.PERFORMANCE_ABORT:
+            span = self.performances.get(event.get("performance"))
+            if span is not None:
+                span.end = event.time
+                span.attrs["aborted"] = True
+                span.attrs["crash_cause"] = event.get("crashed")
+                span.attrs["survivors"] = event.get("survivors")
+        elif kind is EventKind.COMM:
+            self._instant(event, "comm", self._instant_parent(event),
+                          sender=event.process,
+                          sender_alias=event.get("sender_alias"),
+                          receiver=event.get("receiver"), to=event.get("to"),
+                          tag=event.get("tag"), value=event.get("value"))
+        elif kind is EventKind.TIMEOUT:
+            self._instant(event, "timeout", self._instant_parent(event),
+                          process=event.process,
+                          waiting=event.get("waiting"))
+        elif kind is EventKind.FAULT:
+            self._instant(event, f"fault:{event.get('fault')}",
+                          self._instant_parent(event),
+                          target=event.get("target") or event.process,
+                          value=event.get("value"),
+                          applied=event.get("applied"))
+        elif kind is EventKind.INTERRUPT:
+            self._instant(event, "interrupt", self._instant_parent(event),
+                          process=event.process, error=event.get("error"))
+        elif kind is EventKind.USER:
+            self._instant(event, f"user:{event.get('user_kind')}",
+                          self._instant_parent(event),
+                          process=event.process,
+                          **{k: v for k, v in event.details.items()
+                             if k != "user_kind"})
+
+    # -- composite handlers ------------------------------------------------
+
+    def _enroll_request(self, event: TraceEvent) -> None:
+        instance = event.get("instance")
+        key = (instance, event.process)
+        if event.get("withdrawn"):
+            span = self.enrolls.pop(key, None)
+            if span is not None:
+                span.end = event.time
+                span.attrs["outcome"] = "withdrawn"
+            return
+        self._ensure_instance(instance, event.time)
+        parent = self._ensure_process(event.process, event.time)
+        self.enrolls[key] = self._open(
+            Span(f"enroll:{instance}:{event.seq}", parent.sid, "enroll",
+                 f"enroll:{compact_role(event.get('role'))}", event.time,
+                 attrs={"instance": instance, "process": event.process,
+                        "role": event.get("role"), "seq": event.get("seq"),
+                        "partners": event.get("partners")}))
+
+    def _enroll_accept(self, event: TraceEvent) -> None:
+        span = self.enrolls.pop((event.get("instance"), event.process), None)
+        if span is None:
+            return
+        span.end = event.time
+        span.attrs["outcome"] = "accepted"
+        span.attrs["performance"] = event.get("performance")
+        span.attrs["assigned_role"] = event.get("role")
+
+    def _role_start(self, event: TraceEvent) -> None:
+        performance = event.get("performance")
+        role = compact_role(event.get("role"))
+        parent = self.performances.get(performance)
+        parent_sid = parent.sid if parent is not None \
+            else self._ensure_run(event.time).sid
+        span = self._open(Span(f"role:{performance}:{role}", parent_sid,
+                               "role", role, event.time,
+                               attrs={"process": event.process,
+                                      "performance": performance}))
+        self.roles[(performance, role)] = span
+        self.role_of_process[event.process] = span
+
+    def _role_close(self, event: TraceEvent, outcome: str) -> None:
+        key = (event.get("performance"), compact_role(event.get("role")))
+        span = self.roles.get(key)
+        if span is None or span.end is not None:
+            return
+        span.end = event.time
+        span.attrs["outcome"] = outcome
+        if self.role_of_process.get(event.process) is span:
+            del self.role_of_process[event.process]
+
+    # -- finalization ------------------------------------------------------
+
+    def finish(self, last_time: float) -> list[Span]:
+        for span in self.spans:
+            if span.end is None:
+                span.end = last_time
+                # run/instance spans have no closing event; they span the
+                # whole trace by construction, which is not an anomaly.
+                if span.kind not in ("run", "instance"):
+                    span.attrs["unfinished"] = True
+        return self.spans
+
+
+def build_spans(source: Tracer | Iterable[TraceEvent]) -> list[Span]:
+    """Derive the span tree from a tracer or a recorded event sequence.
+
+    Returns spans in creation (causal) order; the first span, when any
+    events exist, is the ``run`` root.
+    """
+    events = source.events if isinstance(source, Tracer) else list(source)
+    builder = _Builder()
+    last = 0.0
+    for event in events:
+        builder.feed(event)
+        last = event.time
+    return builder.finish(last)
+
+
+def span_tree_lines(spans: Iterable[Span]) -> list[str]:
+    """Indented pre-order rendering of the span tree (debugging / docs).
+
+    Children are listed under their parent (creation order among
+    siblings), so the indentation really is the hierarchy.
+    """
+    spans = list(spans)
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent, []).append(span)
+    lines: list[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        marker = "@" if span.instant else "-"
+        width = f" [{span.start:g}]" if span.instant \
+            else f" [{span.start:g}..{span.end:g}]"
+        label = span.name if span.name.startswith(span.kind) \
+            else f"{span.kind}:{span.name}"
+        lines.append(f"{'  ' * depth}{marker} {label}{width}")
+        for child in children.get(span.sid, ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return lines

@@ -13,6 +13,7 @@ from .effects import (ELSE_BRANCH, TIMED_OUT, TIMED_OUT_BRANCH, AddAlias,
                       GetTime, QueryProcesses, Receive, ReceivedMessage,
                       ReceiveTimeout, Select, SelectResult, Send, Spawn,
                       Trace, WaitUntil)
+from .instrument import NULL_SINK, NullSink, Sink
 from .process import Process, ProcessState
 from .scheduler import MatchFilter, RunResult, Scheduler, run_processes
 from .tracing import EventKind, TraceEvent, Tracer, format_trace
@@ -26,7 +27,10 @@ __all__ = [
     "DropAlias",
     "ELSE_BRANCH",
     "MatchFilter",
+    "NULL_SINK",
+    "NullSink",
     "ReceiveTimeout",
+    "Sink",
     "TIMED_OUT",
     "TIMED_OUT_BRANCH",
     "Effect",

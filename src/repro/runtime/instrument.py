@@ -1,0 +1,59 @@
+"""Kernel instrumentation: the sink interface the scheduler reports into.
+
+The kernel stays observability-agnostic: it knows only this tiny interface.
+A :class:`Sink` receives low-level callbacks the trace alone cannot carry —
+when a process *posted* its rendezvous offers (so match latency is
+measurable), when a commit happened (with board/waiter depth at that
+instant), and when the transport charged a message.  Everything derivable
+from :class:`~repro.runtime.tracing.TraceEvent` streams arrives through
+:meth:`Sink.on_event` instead, via a tracer listener.
+
+The default sink is :data:`NULL_SINK`, a null object that is *falsy*: hot
+paths guard each callback with ``if self.sink:``, so an uninstrumented
+scheduler pays one truthiness check per call site and nothing more.
+Concrete sinks live in :mod:`repro.obs`; the kernel never imports them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tracing import TraceEvent
+
+
+class Sink:
+    """Base instrumentation sink: every callback is a no-op.
+
+    Subclass and override what you need; unknown data must be tolerated
+    (the kernel may grow new callbacks).  A real sink is truthy, which is
+    what arms the kernel's ``if self.sink:`` guards.
+    """
+
+    def __bool__(self) -> bool:
+        return True
+
+    def on_event(self, event: "TraceEvent") -> None:
+        """A trace event was emitted (delivered via a tracer listener)."""
+
+    def on_offer_posted(self, time: float, process: Hashable) -> None:
+        """``process`` just blocked on a group of rendezvous offers."""
+
+    def on_commit(self, time: float, sender: Hashable, receiver: Hashable,
+                  board_size: int, waiter_count: int) -> None:
+        """A rendezvous committed; depths are sampled after the removal."""
+
+    def on_message(self, time: float, src: Any, dst: Any,
+                   latency: float) -> None:
+        """The network transport charged one message ``src`` -> ``dst``."""
+
+
+class NullSink(Sink):
+    """The no-op sink; falsy so guarded call sites skip the call entirely."""
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared null object installed on every uninstrumented scheduler/transport.
+NULL_SINK = NullSink()

@@ -30,6 +30,7 @@ from .effects import (TIMED_OUT, TIMED_OUT_BRANCH, AddAlias, Choice, Deadline,
                       Delay, DropAlias, Effect, GetName, GetTime,
                       QueryProcesses, Receive, ReceiveTimeout, Select,
                       SelectResult, Send, Spawn, Trace, WaitUntil)
+from .instrument import NULL_SINK, Sink
 from .process import Process, ProcessBody, ProcessState
 from .tracing import EventKind, Tracer
 
@@ -111,13 +112,19 @@ class Scheduler:
         aborts the run immediately with :class:`ProcessFailure`.
     transport:
         Optional latency hook applied to every committed rendezvous.
+    sink:
+        Optional instrumentation :class:`~repro.runtime.instrument.Sink`;
+        defaults to the falsy :data:`~repro.runtime.instrument.NULL_SINK`,
+        so every callback site is guarded by one truthiness check.
     """
 
     def __init__(self, seed: int = 0, tracer: Tracer | None = None,
                  max_steps: int = 1_000_000, fail_fast: bool = True,
-                 transport: Transport | None = None):
+                 transport: Transport | None = None,
+                 sink: Sink | None = None):
         self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else Tracer()
+        self.sink = sink if sink is not None else NULL_SINK
         self.max_steps = max_steps
         self.fail_fast = fail_fast
         self.transport = transport
@@ -420,6 +427,8 @@ class Scheduler:
         process.state = ProcessState.BLOCKED
         process.blocked_reason = group.describe()
         self._board.post(group)
+        if self.sink:
+            self.sink.on_offer_posted(self.now, process.name)
         if timeout is None:
             return
 
@@ -565,6 +574,10 @@ class Scheduler:
             receiver=commit.receiver.name, to=commit.send.partner_alias,
             sender_alias=sender_identity, tag=commit.send.tag,
             value=commit.send.value)
+        if self.sink:
+            self.sink.on_commit(self.now, commit.sender.name,
+                                commit.receiver.name, len(self._board),
+                                len(self._waiters))
         delay = self.transport(self, commit) if self.transport else 0.0
         if delay > 0:
             self._push_timer(

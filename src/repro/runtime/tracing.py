@@ -11,7 +11,37 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
+
+#: Longest rendering of a single ``details`` value before truncation.
+VALUE_LIMIT = 60
+
+
+def compact_role(role: Any) -> str:
+    """Render a role id compactly: ``('recipient', 3)`` -> ``recipient[3]``."""
+    if (isinstance(role, tuple) and len(role) == 2
+            and isinstance(role[0], str)):
+        return f"{role[0]}[{role[1]}]"
+    return role if isinstance(role, str) else repr(role)
+
+
+def compact_value(value: Any, limit: int = VALUE_LIMIT) -> str:
+    """Render one ``details`` value for human-readable traces.
+
+    Role addresses (duck-typed: anything with ``performance_id`` and
+    ``role_id``, since the kernel cannot import the core layer) become
+    ``perf:role``; everything else is ``repr``-ed and truncated to
+    ``limit`` characters with an ellipsis.
+    """
+    performance = getattr(value, "performance_id", None)
+    role = getattr(value, "role_id", None)
+    if performance is not None and role is not None:
+        text = f"{performance}:{compact_role(role)}"
+    else:
+        text = repr(value)
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text
 
 
 class EventKind(enum.Enum):
@@ -26,6 +56,7 @@ class EventKind(enum.Enum):
     INTERRUPT = "interrupt"           # an exception was thrown into a process
     FAULT = "fault"                   # an injected fault event fired
     # Script-layer events (emitted by repro.core):
+    INSTANCE_CREATED = "instance_created"
     ENROLL_REQUEST = "enroll_request"
     ENROLL_ACCEPT = "enroll_accept"
     PERFORMANCE_START = "performance_start"
@@ -57,8 +88,9 @@ class TraceEvent:
         """Convenience accessor into ``details``."""
         return self.details.get(key, default)
 
-    def __str__(self) -> str:  # pragma: no cover - debugging aid
-        details = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+    def __str__(self) -> str:
+        details = ", ".join(f"{k}={compact_value(v)}"
+                            for k, v in self.details.items())
         return f"[{self.seq:>5} t={self.time:g}] {self.kind.value} {self.process!r} {details}"
 
 
@@ -72,6 +104,7 @@ class Tracer:
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
         self._seq = 0
+        self._listeners: list[Callable[[TraceEvent], None]] = []
 
     def emit(self, time: float, kind: EventKind, process: Any,
              **details: Any) -> TraceEvent:
@@ -79,12 +112,34 @@ class Tracer:
         event = TraceEvent(self._seq, time, kind, process, details)
         self._seq += 1
         self._events.append(event)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(event)
         return event
+
+    def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Call ``listener`` with every subsequently emitted event."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Detach a listener previously added (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     @property
     def events(self) -> list[TraceEvent]:
-        """All events recorded so far, in order."""
+        """All events recorded so far, in order (the live, mutable list)."""
         return self._events
+
+    def snapshot(self) -> tuple[TraceEvent, ...]:
+        """An immutable copy of the events recorded so far.
+
+        Analysis should prefer this over :attr:`events`: a snapshot can
+        never race a later :meth:`clear` or the emissions of a shared
+        tracer's next run.  All :mod:`repro.verification` helpers accept
+        either a tracer or a plain event sequence such as this.
+        """
+        return tuple(self._events)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -9,17 +9,31 @@ counts per performance.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Hashable, TYPE_CHECKING
+from typing import Any, Hashable, Iterable, TYPE_CHECKING, Union
 
 from ..core.performance import RoleAddress
 from ..core.policies import Termination
-from ..runtime.tracing import EventKind, Tracer
+from ..runtime.tracing import EventKind, TraceEvent, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.instance import ScriptInstance
 
+#: Every helper accepts a live tracer or any recorded event sequence (for
+#: example :meth:`~repro.runtime.tracing.Tracer.snapshot`), so analysis
+#: never races a cleared or shared tracer.
+TraceSource = Union[Tracer, Iterable[TraceEvent]]
 
-def time_in_script(tracer: Tracer, instance: "ScriptInstance"
+
+def _events(source: TraceSource) -> list[TraceEvent] | tuple[TraceEvent, ...]:
+    """Materialize a :data:`TraceSource` into an ordered event sequence."""
+    if isinstance(source, Tracer):
+        return source.snapshot()
+    if isinstance(source, (list, tuple)):
+        return source
+    return list(source)
+
+
+def time_in_script(tracer: TraceSource, instance: "ScriptInstance"
                    ) -> dict[Hashable, float]:
     """Virtual time each process spent in the script, request to freeing.
 
@@ -32,7 +46,7 @@ def time_in_script(tracer: Tracer, instance: "ScriptInstance"
     spans: dict[Hashable, float] = {}
     open_request: dict[Hashable, float] = {}
     pending_delayed: dict[str, list[tuple[Hashable, float]]] = {}
-    for event in tracer.events:
+    for event in _events(tracer):
         if event.get("instance") != instance.name:
             continue
         if event.kind is EventKind.ENROLL_REQUEST:
@@ -59,12 +73,12 @@ def time_in_script(tracer: Tracer, instance: "ScriptInstance"
     return spans
 
 
-def performance_spans(tracer: Tracer, instance_name: str
+def performance_spans(tracer: TraceSource, instance_name: str
                       ) -> dict[str, tuple[float, float]]:
     """{performance id: (start time, end time)} for completed performances."""
     starts: dict[str, float] = {}
     spans: dict[str, tuple[float, float]] = {}
-    for event in tracer.events:
+    for event in _events(tracer):
         if event.get("instance") != instance_name:
             continue
         performance = event.get("performance")
@@ -76,22 +90,24 @@ def performance_spans(tracer: Tracer, instance_name: str
     return spans
 
 
-def comm_counts_by_performance(tracer: Tracer) -> dict[str, int]:
+def comm_counts_by_performance(tracer: TraceSource) -> dict[str, int]:
     """Role-addressed rendezvous per performance id."""
     counts: dict[str, int] = defaultdict(int)
-    for event in tracer.of_kind(EventKind.COMM):
+    for event in _events(tracer):
+        if event.kind is not EventKind.COMM:
+            continue
         to = event.get("to")
         if isinstance(to, RoleAddress):
             counts[to.performance_id] += 1
     return dict(counts)
 
 
-def role_durations(tracer: Tracer, instance_name: str
+def role_durations(tracer: TraceSource, instance_name: str
                    ) -> dict[tuple[str, Any], float]:
     """{(performance id, role id): body duration in virtual time}."""
     starts: dict[tuple[str, Any], float] = {}
     durations: dict[tuple[str, Any], float] = {}
-    for event in tracer.events:
+    for event in _events(tracer):
         if event.get("instance") != instance_name:
             continue
         key = (event.get("performance"), event.get("role"))

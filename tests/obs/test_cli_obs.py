@@ -1,0 +1,60 @@
+"""Tests for the ``trace`` and ``stats`` CLI commands."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "demo-broadcast", "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "demo-broadcast" in stdout
+    assert "Perfetto" in stdout
+    document = json.loads(out.read_text())
+    assert document["traceEvents"]
+    assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+def test_trace_jsonl_and_tree(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    assert main(["trace", "demo-lock", "--out", str(out),
+                 "--jsonl", str(jsonl), "--tree"]) == 0
+    stdout = capsys.readouterr().out
+    assert "- run [" in stdout  # the tree was printed
+    lines = [json.loads(line) for line in
+             jsonl.read_text().splitlines() if line]
+    assert lines[0]["kind"] == "run"
+    assert any(record["kind"] == "performance" for record in lines)
+
+
+def test_trace_is_deterministic_across_invocations(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["trace", "demo-election", "--seed", "2", "--out",
+                 str(a)]) == 0
+    assert main(["trace", "demo-election", "--seed", "2", "--out",
+                 str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_stats_prints_metrics_summary(capsys):
+    assert main(["stats", "demo-lock"]) == 0
+    out = capsys.readouterr().out
+    assert "rendezvous_match_latency" in out
+    assert "per-performance durations:" in out
+    assert "demo_lock/p1" in out
+
+
+def test_stats_json(capsys):
+    assert main(["stats", "demo-broadcast", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["metrics"]["comms_total"]["value"] > 0
+    assert data["performances"]
+
+
+def test_unknown_scenario_is_rejected(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["trace", "nope"])

@@ -1,0 +1,86 @@
+"""Tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    registry = MetricsRegistry()
+    registry.counter("comms_total").inc()
+    registry.counter("comms_total").inc(4)
+    assert registry.counter("comms_total").value == 5
+
+
+def test_labeled_counters_are_distinct():
+    registry = MetricsRegistry()
+    registry.counter("faults_total", label="crash").inc()
+    registry.counter("faults_total", label="partition").inc(2)
+    assert registry.counter("faults_total", label="crash").value == 1
+    assert registry.counter("faults_total", label="partition").value == 2
+    assert "faults_total{crash}" in registry
+    assert "faults_total{partition}" in registry
+
+
+def test_gauge_tracks_extremes_and_last():
+    gauge = Gauge("board")
+    for value in (3, 1, 7, 2):
+        gauge.set(value)
+    assert gauge.last == 2
+    assert gauge.min == 1
+    assert gauge.max == 7
+    assert gauge.samples == 4
+    assert "max=7" in gauge.render()
+
+
+def test_histogram_buckets_and_quantiles():
+    histogram = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.5, 1.5, 3.0, 10.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.counts == [2, 1, 1, 1]  # le1, le2, le4, overflow
+    assert histogram.max == 10.0
+    assert histogram.quantile(0.5) == 2.0  # median 1.5 -> le2 bucket bound
+    assert histogram.quantile(0.99) == 10.0  # overflow reports the max
+    assert histogram.mean == pytest.approx(3.1)
+
+
+def test_empty_histogram_is_harmless():
+    histogram = Histogram("empty")
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.mean == 0.0
+    assert histogram.render() == "no observations"
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_render_text_is_sorted_and_aligned():
+    registry = MetricsRegistry()
+    registry.counter("zulu").inc()
+    registry.gauge("alpha").set(1)
+    text = registry.render_text()
+    lines = text.splitlines()
+    assert lines[0].split()[1] == "alpha"
+    assert lines[1].split()[1] == "zulu"
+
+
+def test_to_dict_round_trips_via_json():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(3.5)
+    registry.histogram("h").observe(1.0)
+    data = json.loads(json.dumps(registry.to_dict()))
+    assert data["c"]["value"] == 2
+    assert data["g"]["last"] == 3.5
+    assert data["h"]["count"] == 1
+
+
+def test_empty_registry_renders_placeholder():
+    assert MetricsRegistry().render_text() == "(no metrics recorded)"

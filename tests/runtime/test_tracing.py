@@ -94,3 +94,53 @@ def test_shared_tracer_across_runs():
     sequences = [e.seq for e in tracer]
     assert sequences == sorted(sequences)
     assert {e.process for e in tracer.of_kind(EventKind.SPAWN)} == {"a", "b"}
+
+
+def test_snapshot_is_immutable_and_decoupled():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.SPAWN, "a")
+    frozen = tracer.snapshot()
+    assert isinstance(frozen, tuple)
+    tracer.emit(1, EventKind.COMM, "a")
+    assert len(frozen) == 1
+    assert len(tracer.snapshot()) == 2
+    tracer.clear()
+    assert len(frozen) == 1  # survives a clear
+
+
+def test_listeners_see_every_emit():
+    tracer = Tracer()
+    seen = []
+    tracer.add_listener(seen.append)
+    event = tracer.emit(0, EventKind.SPAWN, "a")
+    assert seen == [event]
+    tracer.remove_listener(seen.append)
+    tracer.emit(1, EventKind.COMM, "a")
+    assert seen == [event]
+
+
+def test_str_truncates_long_values():
+    from repro.runtime.tracing import VALUE_LIMIT
+
+    event = TraceEvent(0, 0.0, EventKind.COMM, "p", {"value": "x" * 500})
+    rendered = str(event)
+    assert "..." in rendered
+    assert len(rendered) < 500
+    for chunk in rendered.split():
+        assert len(chunk) <= VALUE_LIMIT + len("value=") + len("...")
+
+
+def test_str_renders_role_addresses_compactly():
+    from repro.core.performance import RoleAddress
+
+    event = TraceEvent(0, 0.0, EventKind.COMM, "p",
+                       {"to": RoleAddress("inst/p1", ("recipient", 3))})
+    assert "inst/p1:recipient[3]" in str(event)
+
+
+def test_format_trace_uses_compact_rendering():
+    tracer = Tracer()
+    tracer.emit(0, EventKind.COMM, "p", value="y" * 500)
+    text = format_trace(tracer)
+    assert "..." in text
+    assert len(text) < 500

@@ -1,5 +1,6 @@
 """Tests for the trace metrics helpers."""
 
+from repro.core import Mode, Param, ScriptDef, Termination
 from repro.runtime import Delay, Scheduler
 from repro.scripts import make_broadcast
 from repro.verification import (comm_counts_by_performance,
@@ -109,3 +110,110 @@ def test_time_in_script_ignores_withdrawn_requests():
     scheduler.run()
     spans = time_in_script(scheduler.tracer, instance)
     assert "Q" not in spans
+    # A recorded event sequence gives the same answer as the live tracer.
+    assert time_in_script(scheduler.tracer.snapshot(), instance) == spans
+    assert time_in_script(list(scheduler.tracer.events), instance) == spans
+
+
+def test_helpers_accept_plain_event_sequences():
+    scheduler, instance = run_star_with_delays(n=3, rounds=2)
+    events = scheduler.tracer.snapshot()
+    assert performance_spans(events, instance.name) == \
+        performance_spans(scheduler.tracer, instance.name)
+    assert comm_counts_by_performance(events) == \
+        comm_counts_by_performance(scheduler.tracer)
+    assert role_durations(events, instance.name) == \
+        role_durations(scheduler.tracer, instance.name)
+    # Generators work too (single pass is enough).
+    assert comm_counts_by_performance(iter(events)) == \
+        comm_counts_by_performance(events)
+
+
+def two_role_script(termination):
+    script = ScriptDef("t", termination=termination)
+
+    @script.role("fast", params=[Param("data", Mode.IN)])
+    def fast(ctx, data):
+        yield from ctx.send("slow", data)
+
+    @script.role("slow")
+    def slow(ctx):
+        yield from ctx.receive("fast")
+        yield Delay(9)
+
+    return script
+
+
+def run_two_role(termination):
+    scheduler = Scheduler()
+    instance = two_role_script(termination).instance(scheduler)
+
+    def quick():
+        yield from instance.enroll("fast", data=1)
+
+    def lingering():
+        yield from instance.enroll("slow")
+
+    scheduler.spawn("F", quick())
+    scheduler.spawn("L", lingering())
+    scheduler.run()
+    return scheduler, instance
+
+
+def test_time_in_script_delayed_termination_holds_fast_role():
+    scheduler, instance = run_two_role(Termination.DELAYED)
+    spans = time_in_script(scheduler.tracer, instance)
+    # Delayed termination: the fast role stays enrolled until the slow
+    # role's 9-unit epilogue finishes the performance.
+    assert spans["F"] == 9.0
+    assert spans["L"] == 9.0
+
+
+def test_time_in_script_immediate_termination_frees_fast_role():
+    scheduler, instance = run_two_role(Termination.IMMEDIATE)
+    spans = time_in_script(scheduler.tracer, instance)
+    # Immediate termination: the fast role leaves at its own role end.
+    assert spans["F"] == 0.0
+    assert spans["L"] == 9.0
+
+
+def test_metrics_with_absent_role():
+    script = ScriptDef("ab")
+
+    @script.role("server")
+    def server(ctx):
+        for client in ("present", "missing"):
+            if not ctx.terminated(client):
+                yield from ctx.receive(client)
+
+    @script.role("present")
+    def present(ctx):
+        yield Delay(3)
+        yield from ctx.send("server", "hi")
+
+    @script.role("missing")
+    def missing(ctx):
+        yield from ctx.send("server", "never runs")
+
+    script.critical_role_set("server", "present")
+
+    scheduler = Scheduler()
+    instance = script.instance(scheduler)
+
+    def enrolled(role):
+        yield from instance.enroll(role)
+
+    scheduler.spawn("S", enrolled("server"))
+    scheduler.spawn("P", enrolled("present"))
+    scheduler.run()
+
+    events = scheduler.tracer.snapshot()
+    [performance] = performances_in(events, instance.name)
+    durations = role_durations(events, instance.name)
+    # Only filled roles have durations; the absent one contributes nothing.
+    assert set(durations) == {(performance, "server"),
+                              (performance, "present")}
+    assert durations[(performance, "present")] == 3.0
+    spans = time_in_script(events, instance)
+    assert set(spans) == {"S", "P"}
+    assert comm_counts_by_performance(events) == {performance: 1}
