@@ -1,0 +1,226 @@
+"""Scaling sweep: indexed board vs the full-scan oracle matcher.
+
+Three raw-kernel shapes chosen to stress the matcher differently:
+
+- ``pingpong``  — N independent pairs exchanging messages: the board holds
+  up to 2N offer groups but every group has exactly one viable partner, so
+  the full scan wastes O(N) work per commit on pairs that cannot match.
+- ``star``     — one hub sending to N leaves in sequence: a classic
+  broadcast where the oracle re-derives the same N-1 untouched receive
+  offers after every commit.
+- ``fanin``    — N producers racing into one selecting consumer: a deep
+  board on the send side, with the seeded RNG arbitrating each round.
+
+Each (shape, N) cell runs under both boards and records wall-clock
+ops/sec (committed rendezvous per second) into ``BENCH_scheduler.json``
+at the repository root.  The sweep sizes come from the
+``BENCH_SCHEDULER_SIZES`` environment variable (comma-separated; CI runs
+the small sizes, the committed JSON is the full local sweep).
+
+This module does its own timing on purpose — it runs under plain
+``pytest`` with no pytest-benchmark flags, so the CI job can invoke it
+directly and upload the JSON artifact.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.runtime import (IndexedBoard, OracleBoard, Receive, Scheduler,
+                           Select, Send)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_scheduler.json"
+
+DEFAULT_SIZES = "10,50,200,500"
+SIZES = tuple(int(s) for s in
+              os.environ.get("BENCH_SCHEDULER_SIZES",
+                             DEFAULT_SIZES).split(","))
+# Communication rounds per process.  High enough that steady-state
+# matching dominates the one-off spawn/teardown cost in every cell.
+ROUNDS = 4
+
+
+# ---------------------------------------------------------------------------
+# Workload shapes (raw kernel: no script layer, matching cost dominates)
+# ---------------------------------------------------------------------------
+
+def build_pingpong(scheduler, n):
+    def left(i):
+        for _ in range(ROUNDS):
+            yield Send(("R", i), i)
+            yield Receive(("R", i))
+
+    def right(i):
+        for _ in range(ROUNDS):
+            yield Receive(("L", i))
+            yield Send(("L", i), i)
+
+    for i in range(n):
+        scheduler.spawn(("L", i), left(i))
+        scheduler.spawn(("R", i), right(i))
+    return 2 * n * ROUNDS
+
+
+def build_star(scheduler, n):
+    # ROUNDS broadcast waves keep every leaf's receive posted while the
+    # hub works, so the matcher faces a full board at steady state — the
+    # shape the full scan pays O(board) per commit on.
+    def hub():
+        for _ in range(ROUNDS):
+            for i in range(n):
+                yield Send(("leaf", i), i)
+
+    def leaf(i):
+        for _ in range(ROUNDS):
+            yield Receive("hub")
+
+    scheduler.spawn("hub", hub())
+    for i in range(n):
+        scheduler.spawn(("leaf", i), leaf(i))
+    return n * ROUNDS
+
+
+def build_fanin(scheduler, n):
+    def producer(i):
+        yield Send("hub", i, tag="a" if i % 2 else "b")
+
+    def hub():
+        for _ in range(n):
+            yield Select((Receive(tag="a"), Receive(tag="b")))
+
+    scheduler.spawn("hub", hub())
+    for i in range(n):
+        scheduler.spawn(("prod", i), producer(i))
+    return n
+
+
+SHAPES = {"pingpong": build_pingpong, "star": build_star,
+          "fanin": build_fanin}
+
+
+class PrePRScheduler(Scheduler):
+    """The pre-PR configuration this PR's speedup is measured against.
+
+    Three reverted behaviors, matching the seed scheduler verbatim:
+    the full-scan matcher (:class:`OracleBoard`), the settle-after-every-
+    step cadence (no dirty-set skip), and the eagerly rendered blocked
+    reason on every post.
+    """
+
+    def _settle(self):
+        # Verbatim pre-PR settle body: _filter_commits per query, waiter
+        # list built every round.  Re-marking the board dirty afterwards
+        # disables the run loop's dirty-set skip.
+        changed = True
+        while changed:
+            changed = False
+            while True:
+                candidates = self._filter_commits(
+                    self._board.candidates(self.alias_owner))
+                if not candidates:
+                    break
+                commit = self.rng.choice(candidates)
+                self._commit(commit)
+                changed = True
+            for name in list(self._waiters):
+                waiter = self._waiters.get(name)
+                if waiter is None:
+                    continue
+                if waiter.predicate():
+                    del self._waiters[name]
+                    self._make_ready(waiter.process)
+                    changed = True
+        self._board_dirty = True
+
+    def _post_group(self, process, group, timeout=None, on_expiry=None):
+        super()._post_group(process, group, timeout=timeout,
+                            on_expiry=on_expiry)
+        process.blocked_reason = group.describe()  # eager, as pre-PR
+
+
+def make_scheduler(board_name):
+    if board_name == "oracle":
+        return PrePRScheduler(seed=0, board=OracleBoard(),
+                              max_steps=10_000_000)
+    return Scheduler(seed=0, board=IndexedBoard(), max_steps=10_000_000)
+
+
+BOARDS = ("indexed", "oracle")
+
+
+REPS = 5  # best-of-N wall clock per cell; N>2 to ride out scheduler jitter
+
+
+def measure(shape, n, board_name):
+    """Run one cell; return (comms, wall seconds) for the best of REPS runs."""
+    best = None
+    for _ in range(REPS):
+        scheduler = make_scheduler(board_name)
+        comms = SHAPES[shape](scheduler, n)
+        start = time.perf_counter()
+        scheduler.run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return comms, best
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+def test_scaling_sweep(capsys):
+    report = {"generated_by": "benchmarks/test_scheduler_scaling.py",
+              "unit": "ops_per_sec (committed rendezvous per wall second)",
+              "rounds_per_pair": ROUNDS, "sizes": list(SIZES), "shapes": {}}
+    for shape in SHAPES:
+        cells = {}
+        for n in SIZES:
+            cell = {}
+            for board_name in BOARDS:
+                comms, seconds = measure(shape, n, board_name)
+                cell[board_name] = {
+                    "comms": comms,
+                    "seconds": round(seconds, 6),
+                    "ops_per_sec": round(comms / seconds, 1),
+                }
+            cell["speedup"] = round(
+                cell["indexed"]["ops_per_sec"]
+                / cell["oracle"]["ops_per_sec"], 2)
+            cells[str(n)] = cell
+        report["shapes"][shape] = cells
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(f"\nwrote {OUTPUT}")
+        for shape, cells in report["shapes"].items():
+            for n, cell in cells.items():
+                print(f"  {shape:>8} N={n:>4}: "
+                      f"indexed {cell['indexed']['ops_per_sec']:>10} ops/s  "
+                      f"oracle {cell['oracle']['ops_per_sec']:>10} ops/s  "
+                      f"({cell['speedup']}x)")
+
+    # Acceptance floor from the issue: >= 3x at N=200 on the star shape.
+    if 200 in SIZES:
+        assert report["shapes"]["star"]["200"]["speedup"] >= 3.0
+    # Sanity floor at every size the sweep did run: never slower than ~par.
+    for shape, cells in report["shapes"].items():
+        for n, cell in cells.items():
+            assert cell["speedup"] > 0.5, (shape, n, cell)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_shapes_agree_across_boards(shape):
+    """Same seed, same shape: both matchers commit the same rendezvous."""
+    from repro.runtime import format_trace
+    results = {}
+    for board_name in BOARDS:
+        scheduler = make_scheduler(board_name)
+        SHAPES[shape](scheduler, 20)
+        scheduler.run()
+        results[board_name] = format_trace(scheduler.tracer)
+    assert results["indexed"] == results["oracle"]

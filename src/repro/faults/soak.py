@@ -217,6 +217,9 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
 
     result = scheduler.run()
     check_residue(scheduler, seed, (instance,))
+    # Long soaks spawn many short-lived processes; reap the finished
+    # records (their outcomes are snapshotted into later RunResults).
+    scheduler.reap()
 
     outcome = "aborted" if supervisor.aborts else "completed"
     if outcome == "aborted":
@@ -334,6 +337,9 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
 
     result = scheduler.run()
     check_residue(scheduler, seed, (instance,))
+    # Long soaks spawn many short-lived processes; reap the finished
+    # records (their outcomes are snapshotted into later RunResults).
+    scheduler.reap()
 
     for i in range(1, clients + 1):
         name = ("client", i)

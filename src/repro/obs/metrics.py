@@ -276,6 +276,10 @@ class RuntimeMetrics(Sink):
         self.registry.gauge("board_size").set(board_size)
         self.registry.gauge("waiter_depth").set(waiter_count)
 
+    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+        self.registry.gauge("match_index_pairs").set(pairs)
+        self.registry.gauge("match_index_dirty_events").set(dirty_events)
+
     def on_message(self, time: float, src: Any, dst: Any,
                    latency: float) -> None:
         self.registry.counter("messages_total").inc()

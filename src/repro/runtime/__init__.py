@@ -8,6 +8,8 @@ model.
 """
 
 from .board import Commit, RendezvousBoard
+from .board_index import IndexedBoard
+from .board_oracle import OracleBoard
 from .effects import (ELSE_BRANCH, TIMED_OUT, TIMED_OUT_BRANCH, AddAlias,
                       Choice, Deadline, Delay, DropAlias, Effect, GetName,
                       GetTime, QueryProcesses, Receive, ReceivedMessage,
@@ -37,6 +39,8 @@ __all__ = [
     "EventKind",
     "GetName",
     "GetTime",
+    "IndexedBoard",
+    "OracleBoard",
     "Process",
     "ProcessState",
     "QueryProcesses",

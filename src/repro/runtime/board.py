@@ -27,9 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from .process import Process
 
 
-@dataclasses.dataclass(slots=True)
+@dataclasses.dataclass(slots=True, eq=False)
 class Offer:
-    """One enabled communication branch of a blocked process."""
+    """One enabled communication branch of a blocked process.
+
+    Offers compare (and hash) by identity: the indexed board files the
+    same offer object under several buckets, and two textually identical
+    offers from different processes must never collide.
+    """
 
     group: "OfferGroup"
     index: int                       # branch index within the select
@@ -41,7 +46,7 @@ class Offer:
     as_alias: Hashable | None = None # identity the sender presents
 
 
-@dataclasses.dataclass(slots=True)
+@dataclasses.dataclass(slots=True, eq=False)
 class OfferGroup:
     """All offers of one blocked process, plus how to build its result."""
 
@@ -51,6 +56,11 @@ class OfferGroup:
     # Timer that expires this group (Deadline / ReceiveTimeout / Select
     # timeout); cancelled automatically when the group leaves the board.
     expiry: Any = None
+    # Monotonic post-order stamp, assigned by the board at ``post`` time.
+    # Candidate ordering (and therefore which pair the seeded RNG picks)
+    # is defined by it: groups posted earlier come first, exactly like
+    # insertion-ordered iteration over the full-scan board's group dict.
+    seq: int = 0
 
     def describe(self) -> str:
         """Human-readable account of what the process is waiting for."""
@@ -73,27 +83,34 @@ def make_group(process: "Process", branches: Iterable[Send | Receive],
     (used by role contexts so partners observe role addresses, not process
     names).
     """
-    group = OfferGroup(process=process, offers=[], plain=plain)
+    group = OfferGroup(process, [], plain)
+    append = group.offers.append
     for index, branch in enumerate(branches):
+        # Positional Offer(...) calls: this runs for every blocked step,
+        # so skip the keyword-binding overhead.  Field order is
+        # (group, index, is_send, partner_alias, tag, value, with_sender,
+        # as_alias) — keep in sync with the dataclass above.
         if isinstance(branch, Send):
-            group.offers.append(Offer(
-                group=group, index=index, is_send=True,
-                partner_alias=branch.to, tag=branch.tag, value=branch.value,
-                as_alias=branch.as_alias if branch.as_alias is not None
-                else sender_alias))
+            append(Offer(group, index, True, branch.to, branch.tag,
+                         branch.value, False,
+                         branch.as_alias if branch.as_alias is not None
+                         else sender_alias))
         elif isinstance(branch, Receive):
-            group.offers.append(Offer(
-                group=group, index=index, is_send=False,
-                partner_alias=branch.frm, tag=branch.tag,
-                with_sender=branch.with_sender))
+            append(Offer(group, index, False, branch.frm, branch.tag,
+                         None, branch.with_sender, None))
         else:
             raise TypeError(f"select branch must be Send or Receive, got {branch!r}")
     return group
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(slots=True, eq=False)
 class Commit:
-    """A matched send/receive pair, ready to be performed."""
+    """A matched send/receive pair, ready to be performed.
+
+    Treat as immutable.  Not a frozen dataclass: one is allocated per
+    candidate pair on the matching hot path, and ``frozen=True`` triples
+    construction cost; ``eq=False`` keeps identity comparison/hashing.
+    """
 
     send: Offer
     recv: Offer
@@ -110,15 +127,30 @@ class Commit:
 
 
 class RendezvousBoard:
-    """Holds pending offer groups and finds matching pairs.
+    """Holds pending offer groups and finds matching pairs by full scan.
 
     The board does not own the alias registry; the scheduler passes a
     mapping from alias to owning process at matching time, because alias
     ownership changes as roles are filled and vacated.
+
+    This class is the *reference* matcher: :meth:`candidates` re-derives
+    every matchable pair from scratch, so its output is trivially correct
+    but costs O(groups × offers × peer offers) per call.  The production
+    scheduler uses :class:`repro.runtime.board_index.IndexedBoard`, which
+    maintains the same pair set incrementally; this full-scan board is
+    kept (re-exported as :mod:`repro.runtime.board_oracle`) as the
+    differential oracle the indexed board is tested against.
+
+    Subclass hook protocol (all no-ops here): the scheduler calls
+    :meth:`bind` once with its live alias-owner mapping, and
+    :meth:`on_alias_claimed` / :meth:`on_alias_released` after every
+    ownership change, because alias moves are exactly the non-board
+    events that can change matchability.
     """
 
     def __init__(self) -> None:
         self._groups: dict[Hashable, OfferGroup] = {}
+        self._post_seq = 0
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -136,6 +168,8 @@ class RendezvousBoard:
         name = group.process.name
         if name in self._groups:
             raise RuntimeError(f"process {name!r} already has pending offers")
+        self._post_seq += 1
+        group.seq = self._post_seq
         self._groups[name] = group
 
     def withdraw(self, process_name: Hashable) -> OfferGroup | None:
@@ -207,6 +241,42 @@ class RendezvousBoard:
         """Drop all offers of both processes involved in ``commit``."""
         self.withdraw(commit.sender.name)
         self.withdraw(commit.receiver.name)
+
+    # ------------------------------------------------------------------
+    # Incremental-board hook protocol (no-ops for the full-scan board)
+    # ------------------------------------------------------------------
+
+    def bind(self, owner: dict[Hashable, "Process"]) -> None:
+        """Adopt the scheduler's live alias-owner mapping (no-op here)."""
+
+    def on_alias_claimed(self, alias: Hashable, process: "Process") -> None:
+        """``alias`` is now owned by ``process`` (no-op here)."""
+
+    def on_alias_released(self, alias: Hashable, process: "Process") -> None:
+        """``process`` no longer owns ``alias`` (no-op here)."""
+
+    def compact(self) -> None:
+        """Release any internal bookkeeping memory (no-op here)."""
+
+    @property
+    def needs_settle(self) -> bool:
+        """Could a settle commit anything right now?
+
+        The full-scan board cannot know without scanning, so it always
+        answers True; the indexed board answers from its live pair set.
+        The scheduler uses this to veto provably-empty settle passes.
+        """
+        return True
+
+    @property
+    def index_size(self) -> int:
+        """Live candidate pairs held by the matcher's index (0: no index)."""
+        return 0
+
+    @property
+    def dirty_events(self) -> int:
+        """Cumulative index-maintenance events processed (0: no index)."""
+        return 0
 
 
 def resume_values(commit: Commit) -> tuple[Any, Any]:

@@ -1,0 +1,364 @@
+"""Incremental rendezvous matching: the alias/tag-indexed board.
+
+:class:`IndexedBoard` keeps the *same* candidate-pair set the full-scan
+:class:`~repro.runtime.board.RendezvousBoard` would derive, but maintains
+it incrementally: instead of re-enumerating every send/receive pair after
+every process step, it updates a live pair set on exactly the events that
+can change matchability —
+
+* :meth:`post` — a process blocked with new offers,
+* :meth:`withdraw` — offers left the board (commit, timeout, interrupt),
+* :meth:`on_alias_claimed` — an address gained an owner (enrollment,
+  ``AddAlias``), which can route pending sends to a new target and
+  authorize named receives,
+* :meth:`on_alias_released` — an address lost its owner (role vacation,
+  process death), which invalidates every pair routed through it.
+
+Match-filter partitions (see ``Scheduler.match_filter``) are deliberately
+*not* index events: a pair blocked by a partition stays in the live set
+and is simply skipped at drain time, so a heal re-enables it at the next
+settle with no re-enqueue bookkeeping — identical to the oracle, which
+rediscovers the pair on its next scan.
+
+Determinism argument (the candidate ordering invariant)
+-------------------------------------------------------
+The scheduler's seeded RNG picks from the candidate *list*, so the list
+must be ordered identically to the full scan, which yields pairs in
+(group-dict insertion order, send branch index, receive branch index).
+Dict insertion order over currently-posted groups is exactly ascending
+``OfferGroup.seq`` (a monotonic stamp assigned at post; withdrawing and
+re-posting moves a group to the back of the dict *and* gives it a fresh,
+larger stamp).  Each pair is therefore keyed by the integer triple
+``(send.group.seq, send.index, recv.index)`` — unique, because a send
+offer's target group is single-valued under the alias-owner map — and
+:meth:`candidates` returns the pairs sorted by that key.  Sorting the
+live pair set hence reproduces the full scan's output byte for byte,
+which `tests/runtime/test_board_oracle.py` verifies differentially over
+randomized workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TYPE_CHECKING
+
+from .board import Commit, Offer, OfferGroup, RendezvousBoard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import Process
+
+#: Sort/dict key of one candidate pair: (send group seq, send index,
+#: recv index) — see the module docstring's ordering invariant.
+PairKey = tuple[int, int, int]
+
+#: Sentinel for "no alias to unregister" in the drop path.
+_NO_ALIAS = object()
+
+
+class IndexedBoard(RendezvousBoard):
+    """Rendezvous board with an incrementally maintained candidate set.
+
+    The board needs the scheduler's live alias-owner mapping at *event*
+    time, not just at query time: :meth:`bind` adopts it once (an owner
+    dict may also be passed to the constructor for standalone use, e.g.
+    unit tests).  The ``owner`` argument of :meth:`candidates` /
+    :meth:`candidates_for` is accepted for interface compatibility and
+    must be the bound mapping.
+    """
+
+    def __init__(self, owner: dict[Hashable, "Process"] | None = None):
+        super().__init__()
+        self._owner: dict[Hashable, "Process"] = owner if owner is not None \
+            else {}
+        # Offer buckets, keyed by the alias an offer *addresses*.
+        self._sends_to: dict[Hashable, dict[Offer, None]] = {}
+        self._recvs_from: dict[Hashable, dict[Offer, None]] = {}
+        # The live candidate set and its removal registries.  Each pair
+        # is filed under both participating process names (so a
+        # withdrawal drops exactly the affected pairs in O(affected))
+        # and under every alias its validity routes through (so an alias
+        # release invalidates exactly the routed pairs).
+        self._pairs: dict[PairKey, Commit] = {}
+        self._pairs_by_group: dict[Hashable, dict[PairKey, None]] = {}
+        self._pairs_by_alias: dict[Hashable, set[PairKey]] = {}
+        self._dirty_events = 0
+        # Buckets are deliberately kept when they empty: rendezvous churn
+        # reuses the same alias/name keys over and over, and allocating a
+        # fresh container per round both costs time and — because dicts
+        # and sets are GC-tracked — drags extra cyclic-GC passes into the
+        # hot path.  :meth:`compact` (called from ``Scheduler.reap``)
+        # prunes the empties when the caller wants memory back.
+
+    # ------------------------------------------------------------------
+    # Wiring and introspection
+    # ------------------------------------------------------------------
+
+    def bind(self, owner: dict[Hashable, "Process"]) -> None:
+        if self._groups or self._pairs:
+            raise RuntimeError("cannot rebind a non-empty indexed board")
+        self._owner = owner
+
+    @property
+    def needs_settle(self) -> bool:
+        # Pairs blocked by a match filter stay in the set, so this can
+        # answer True for a settle that then drains nothing — never the
+        # reverse, which is what correctness needs.
+        return bool(self._pairs)
+
+    @property
+    def index_size(self) -> int:
+        return len(self._pairs)
+
+    def compact(self) -> None:
+        """Drop empty index buckets.
+
+        The event handlers leave empty buckets in place (see ``__init__``)
+        so steady-state churn never reallocates them; long-running hosts
+        reclaim the memory here, e.g. via ``Scheduler.reap``.
+        """
+        for registry in (self._sends_to, self._recvs_from,
+                         self._pairs_by_group, self._pairs_by_alias):
+            for key in [k for k, bucket in registry.items() if not bucket]:
+                del registry[key]
+
+    @property
+    def dirty_events(self) -> int:
+        return self._dirty_events
+
+    # ------------------------------------------------------------------
+    # Pair set maintenance
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(send: Offer, recv: Offer) -> PairKey:
+        return (send.group.seq, send.index, recv.index)
+
+    def _add_pair(self, send: Offer, recv: Offer) -> None:
+        pairs = self._pairs
+        key = (send.group.seq, send.index, recv.index)
+        if key in pairs:
+            return
+        pairs[key] = Commit(send, recv)
+        by_group = self._pairs_by_group
+        for name in (send.group.process.name, recv.group.process.name):
+            bucket = by_group.get(name)
+            if bucket is None:
+                by_group[name] = {key: None}
+            else:
+                bucket[key] = None
+        by_alias = self._pairs_by_alias
+        bucket = by_alias.get(send.partner_alias)
+        if bucket is None:
+            by_alias[send.partner_alias] = {key}
+        else:
+            bucket.add(key)
+        if recv.partner_alias is not None:
+            bucket = by_alias.get(recv.partner_alias)
+            if bucket is None:
+                by_alias[recv.partner_alias] = {key}
+            else:
+                bucket.add(key)
+
+    def _drop_pair(self, key: PairKey) -> None:
+        commit = self._pairs.pop(key, None)
+        if commit is None:
+            return
+        by_group = self._pairs_by_group
+        for name in (commit.send.group.process.name,
+                     commit.recv.group.process.name):
+            bucket = by_group.get(name)
+            if bucket is not None:
+                bucket.pop(key, None)
+        send_alias = commit.send.partner_alias
+        recv_alias = commit.recv.partner_alias
+        if recv_alias is None or recv_alias == send_alias:
+            recv_alias = _NO_ALIAS
+        for alias in (send_alias, recv_alias):
+            if alias is _NO_ALIAS:
+                continue
+            bucket = self._pairs_by_alias.get(alias)
+            if bucket is not None:
+                bucket.discard(key)
+
+    def _discover_for_send(self, send: Offer) -> None:
+        """Add every valid pair for one posted send offer.
+
+        The ``_matches`` conditions are inlined with the already-resolved
+        routing facts factored out: ``target`` IS the owner of the send's
+        partner alias, and ``peer_group is not send.group`` implies
+        distinct processes (a process has at most one posted group).
+        """
+        owner = self._owner
+        target = owner.get(send.partner_alias)
+        if target is None:
+            return
+        peer_group = self._groups.get(target.name)
+        if peer_group is None or peer_group is send.group:
+            return
+        sender = send.group.process
+        tag = send.tag
+        for peer in peer_group.offers:
+            if peer.is_send or peer.tag != tag:
+                continue
+            frm = peer.partner_alias
+            if frm is None or owner.get(frm) is sender:
+                self._add_pair(send, peer)
+
+    def _discover_for_recv(self, recv: Offer) -> None:
+        """Add every valid pair for one posted receive offer.
+
+        Same inlining: every send in ``self._sends_to[alias]`` already
+        addresses ``alias``, and ``owner.get(alias) is process`` makes the
+        receiver its routed target.
+        """
+        owner = self._owner
+        group = recv.group
+        process = group.process
+        frm = recv.partner_alias
+        tag = recv.tag
+        for alias in process.aliases:
+            if owner.get(alias) is not process:
+                continue
+            for send in self._sends_to.get(alias, ()):
+                if send.group is group or send.tag != tag:
+                    continue
+                if frm is None or owner.get(frm) is send.group.process:
+                    self._add_pair(send, recv)
+
+    # ------------------------------------------------------------------
+    # Board events
+    # ------------------------------------------------------------------
+
+    def post(self, group: OfferGroup) -> None:
+        # Base-class post, inlined (this runs twice per rendezvous).
+        name = group.process.name
+        groups = self._groups
+        if name in groups:
+            raise RuntimeError(f"process {name!r} already has pending offers")
+        self._post_seq += 1
+        group.seq = self._post_seq
+        groups[name] = group
+        self._dirty_events += 1
+        sends_to = self._sends_to
+        recvs_from = self._recvs_from
+        # Bucket and discover in one pass: offers within one group can
+        # never pair with each other (same process), so discovering offer
+        # i before offer i+1 is bucketed cannot miss or duplicate a pair.
+        for offer in group.offers:
+            if offer.is_send:
+                alias = offer.partner_alias
+                bucket = sends_to.get(alias)
+                if bucket is None:
+                    sends_to[alias] = {offer: None}
+                else:
+                    bucket[offer] = None
+                self._discover_for_send(offer)
+            else:
+                alias = offer.partner_alias
+                if alias is not None:
+                    bucket = recvs_from.get(alias)
+                    if bucket is None:
+                        recvs_from[alias] = {offer: None}
+                    else:
+                        bucket[offer] = None
+                self._discover_for_recv(offer)
+
+    def withdraw(self, process_name: Hashable) -> OfferGroup | None:
+        # Base-class withdraw, inlined (this runs twice per rendezvous).
+        group = self._groups.pop(process_name, None)
+        if group is None:
+            return None
+        if group.expiry is not None:
+            group.expiry.cancel()
+        self._dirty_events += 1
+        sends_to = self._sends_to
+        recvs_from = self._recvs_from
+        for offer in group.offers:
+            alias = offer.partner_alias
+            if offer.is_send:
+                bucket = sends_to.get(alias)
+                if bucket is not None:
+                    bucket.pop(offer, None)
+            elif alias is not None:
+                bucket = recvs_from.get(alias)
+                if bucket is not None:
+                    bucket.pop(offer, None)
+        keys = self._pairs_by_group.get(process_name)
+        if keys:
+            for key in list(keys):
+                self._drop_pair(key)
+        return group
+
+    def on_alias_claimed(self, alias: Hashable, process: "Process") -> None:
+        """Route pending offers through the alias's new owner.
+
+        Claiming can only *add* matches: sends addressed to ``alias`` now
+        reach ``process``'s posted receives, and receives naming ``alias``
+        as their source now accept ``process``'s posted sends.
+        """
+        self._dirty_events += 1
+        peer_group = self._groups.get(process.name)
+        if peer_group is None:
+            return
+        owner = self._owner
+        for send in self._sends_to.get(alias, ()):
+            if send.group is peer_group:
+                continue
+            for peer in peer_group.offers:
+                if not peer.is_send and self._matches(send, peer, owner):
+                    self._add_pair(send, peer)
+        for recv in self._recvs_from.get(alias, ()):
+            if recv.group is peer_group:
+                continue
+            for send in peer_group.offers:
+                if send.is_send and self._matches(send, recv, owner):
+                    self._add_pair(send, recv)
+
+    def on_alias_released(self, alias: Hashable, process: "Process") -> None:
+        """Invalidate every pair whose validity routes through ``alias``."""
+        self._dirty_events += 1
+        for key in list(self._pairs_by_alias.get(alias, ())):
+            self._drop_pair(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def candidates(self, owner: dict[Hashable, "Process"]) -> list[Commit]:
+        """The live pair set, in full-scan (post/branch) order."""
+        pairs = self._pairs
+        if not pairs:
+            return []
+        if len(pairs) == 1:
+            return list(pairs.values())
+        return [pairs[key] for key in sorted(pairs)]
+
+    def candidates_for(self, group: OfferGroup,
+                       owner: dict[Hashable, "Process"]) -> list[Commit]:
+        """Matchable pairs involving ``group`` (which need not be posted).
+
+        Used for the immediate-``Select`` emptiness probe; computed from
+        the index buckets without touching the live pair set.
+        """
+        found: list[Commit] = []
+        for offer in group.offers:
+            if offer.is_send:
+                target = owner.get(offer.partner_alias)
+                if target is None:
+                    continue
+                peer_group = self._groups.get(target.name)
+                if peer_group is None or peer_group is group:
+                    continue
+                for peer in peer_group.offers:
+                    if not peer.is_send and self._matches(offer, peer, owner):
+                        found.append(Commit(send=offer, recv=peer))
+            else:
+                process = group.process
+                for alias in process.aliases:
+                    if owner.get(alias) is not process:
+                        continue
+                    for send in self._sends_to.get(alias, ()):
+                        if send.group is group:
+                            continue
+                        if self._matches(send, offer, owner):
+                            found.append(Commit(send=send, recv=offer))
+        return found

@@ -1,0 +1,32 @@
+"""The full-scan rendezvous matcher, kept as a reference oracle.
+
+The production scheduler matches rendezvous with the incremental
+:class:`~repro.runtime.board_index.IndexedBoard`.  This module pins the
+original full-scan matcher under a stable name so it can serve as a
+*differential oracle*: the full scan re-derives the candidate set from
+first principles on every call, so any disagreement — in the pair set,
+its order, or therefore in a seeded run's trace — is a bug in the index
+maintenance, not in the oracle.
+
+Run any workload under both matchers with
+``Scheduler(seed=s, board=OracleBoard())`` versus the default scheduler
+and compare formatted traces; they must be byte-identical.  The
+randomized property test in ``tests/runtime/test_board_oracle.py`` does
+exactly that across mixed send/receive/select/timeout/partition
+workloads and many seeds.
+"""
+
+from __future__ import annotations
+
+from .board import RendezvousBoard
+
+
+class OracleBoard(RendezvousBoard):
+    """Reference full-scan matcher (see module docstring).
+
+    Identical to :class:`~repro.runtime.board.RendezvousBoard`; the
+    subclass exists so traces and reprs name the oracle explicitly.
+    """
+
+
+__all__ = ["OracleBoard"]

@@ -43,6 +43,15 @@ class Sink:
                   board_size: int, waiter_count: int) -> None:
         """A rendezvous committed; depths are sampled after the removal."""
 
+    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+        """Matcher-index depth sample, taken at each commit.
+
+        ``pairs`` is the number of live candidate pairs the incremental
+        board holds; ``dirty_events`` the cumulative count of index
+        maintenance events (posts, withdrawals, alias claims/releases).
+        Both are 0 when the scheduler runs the full-scan oracle board.
+        """
+
     def on_message(self, time: float, src: Any, dst: Any,
                    latency: float) -> None:
         """The network transport charged one message ``src`` -> ``dst``."""

@@ -27,6 +27,11 @@ class ProcessState(enum.Enum):
     FAILED = "failed"      # generator raised an uncaught exception
 
 
+#: Checked on every ready-queue pop; precomputed so the ``finished``
+#: property does not rebuild the tuple per call.
+_FINISHED_STATES = (ProcessState.DONE, ProcessState.FAILED)
+
+
 class Process:
     """A scheduled generator with a name and a set of address aliases.
 
@@ -34,6 +39,10 @@ class Process:
     primary name plus any additional addresses (role addresses, for
     instance) registered via the ``AddAlias`` effect.
     """
+
+    __slots__ = ("name", "body", "state", "aliases", "result", "error",
+                 "killed", "_blocked_reason", "steps", "epoch",
+                 "_resume_value", "_resume_exc")
 
     def __init__(self, name: Hashable, body: ProcessBody):
         if not hasattr(body, "send"):
@@ -47,7 +56,7 @@ class Process:
         self.result: Any = None
         self.error: BaseException | None = None
         self.killed = False
-        self.blocked_reason: str = ""
+        self._blocked_reason: Any = ""
         self.steps = 0
         # Epoch of the latest scheduled resumption.  Timer callbacks capture
         # the epoch current when they were armed and become no-ops if the
@@ -57,6 +66,21 @@ class Process:
         # Value or exception to deliver at the next resumption.
         self._resume_value: Any = None
         self._resume_exc: BaseException | None = None
+
+    @property
+    def blocked_reason(self) -> str:
+        """What the process is blocked on, for diagnostics.
+
+        The scheduler hot path stores a zero-argument callable here so the
+        (string-building) description is only rendered when something —
+        a deadlock report, a debugger — actually reads it.
+        """
+        reason = self._blocked_reason
+        return reason() if callable(reason) else reason
+
+    @blocked_reason.setter
+    def blocked_reason(self, reason: Any) -> None:
+        self._blocked_reason = reason
 
     def set_resume(self, value: Any = None) -> None:
         """Arrange for the generator to be resumed with ``value``."""
@@ -87,7 +111,7 @@ class Process:
     @property
     def finished(self) -> bool:
         """True once the process can never run again."""
-        return self.state in (ProcessState.DONE, ProcessState.FAILED)
+        return self.state in _FINISHED_STATES
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {self.state.value}>"

@@ -26,12 +26,14 @@ from ..errors import (DeadlockError, InvalidEffectError, ProcessFailure,
                       UnknownProcessError)
 from . import board as board_mod
 from .board import OfferGroup, RendezvousBoard, make_group
+from .board_index import IndexedBoard
 from .effects import (TIMED_OUT, TIMED_OUT_BRANCH, AddAlias, Choice, Deadline,
                       Delay, DropAlias, Effect, GetName, GetTime,
                       QueryProcesses, Receive, ReceiveTimeout, Select,
                       SelectResult, Send, Spawn, Trace, WaitUntil)
 from .instrument import NULL_SINK, Sink
-from .process import Process, ProcessBody, ProcessState
+from .process import (_FINISHED_STATES, Process, ProcessBody,
+                      ProcessState)
 from .tracing import EventKind, Tracer
 
 #: Transport hook signature: given a committed pair, return message latency.
@@ -51,13 +53,18 @@ class RunResult:
         self.time = scheduler.now
         self.steps = scheduler.total_steps
         self.tracer = scheduler.tracer
-        self.results: dict[Hashable, Any] = {
+        # Start from the snapshots of processes reaped mid-run (see
+        # Scheduler.reap); live records override on a name collision.
+        self.results: dict[Hashable, Any] = dict(scheduler._reaped_results)
+        self.results.update({
             p.name: p.result for p in scheduler.processes.values()
-            if p.state is ProcessState.DONE and not p.killed}
-        self.failures: dict[Hashable, BaseException] = {
+            if p.state is ProcessState.DONE and not p.killed})
+        self.failures: dict[Hashable, BaseException] = dict(
+            scheduler._reaped_failures)
+        self.failures.update({
             p.name: p.error for p in scheduler.processes.values()
-            if p.state is ProcessState.FAILED}
-        self.killed: list[Hashable] = [
+            if p.state is ProcessState.FAILED})
+        self.killed: list[Hashable] = list(scheduler._reaped_killed) + [
             p.name for p in scheduler.processes.values() if p.killed]
 
     @property
@@ -71,17 +78,33 @@ class RunResult:
 
 
 class TimerHandle:
-    """Cancellation handle for a scheduled timer."""
+    """Cancellation handle for a scheduled timer.
 
-    __slots__ = ("action", "cancelled")
+    The handle reports back to its scheduler so the armed-timer count
+    stays exact without scanning the heap, and so a cancellation storm
+    can trigger heap compaction.  ``owner`` names the process whose death
+    should withdraw the timer (``None`` for process-independent timers
+    such as fault-plan events, which must fire regardless of crashes).
+    """
 
-    def __init__(self, action: Callable[[], None]):
+    __slots__ = ("action", "cancelled", "owner", "_scheduler", "_in_heap")
+
+    def __init__(self, action: Callable[[], None],
+                 scheduler: "Scheduler | None" = None,
+                 owner: Hashable | None = None):
         self.action = action
         self.cancelled = False
+        self.owner = owner
+        self._scheduler = scheduler
+        self._in_heap = True
 
     def cancel(self) -> None:
         """Prevent the timer from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None and self._in_heap:
+            self._scheduler._note_timer_cancelled(self)
 
 
 class _Waiter:
@@ -116,12 +139,18 @@ class Scheduler:
         Optional instrumentation :class:`~repro.runtime.instrument.Sink`;
         defaults to the falsy :data:`~repro.runtime.instrument.NULL_SINK`,
         so every callback site is guarded by one truthiness check.
+    board:
+        Optional rendezvous board.  Defaults to the incremental
+        :class:`~repro.runtime.board_index.IndexedBoard`; pass a
+        :class:`~repro.runtime.board_oracle.OracleBoard` to match with
+        the reference full scan (differential testing, debugging).
     """
 
     def __init__(self, seed: int = 0, tracer: Tracer | None = None,
                  max_steps: int = 1_000_000, fail_fast: bool = True,
                  transport: Transport | None = None,
-                 sink: Sink | None = None):
+                 sink: Sink | None = None,
+                 board: RendezvousBoard | None = None):
         self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else Tracer()
         self.sink = sink if sink is not None else NULL_SINK
@@ -134,12 +163,28 @@ class Scheduler:
         self.processes: dict[Hashable, Process] = {}
         self.alias_owner: dict[Hashable, Process] = {}
         self._ready: deque[Process] = deque()
-        self._board = RendezvousBoard()
+        self._board = board if board is not None else IndexedBoard()
+        self._board.bind(self.alias_owner)
         self._waiters: dict[Hashable, _Waiter] = {}
-        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timers: list[tuple[float, int, TimerHandle]] = []
         self._timer_seq = 0
+        # Exact armed/cancelled-in-heap counts, kept live by push, fire,
+        # and TimerHandle.cancel so residue checks never scan the heap.
+        self._armed_timers = 0
+        self._cancelled_in_heap = 0
+        # Armed timers owned by a process, withdrawn when it dies.
+        self._process_timers: dict[Hashable, set[TimerHandle]] = {}
+        # Snapshots of reaped (finished, dropped) process records.
+        self._reaped_results: dict[Hashable, Any] = {}
+        self._reaped_failures: dict[Hashable, BaseException] = {}
+        self._reaped_killed: list[Hashable] = []
         self._first_failure: ProcessFailure | None = None
         self._kill_listeners: list[Callable[[Process], None]] = []
+        # Set whenever an event that can change matchability happens
+        # (post, withdraw, alias claim/release); cleared by ``_settle``.
+        # Steps that leave it clear skip the settle entirely when no
+        # waiter predicates are parked.
+        self._board_dirty = True
 
     # ------------------------------------------------------------------
     # Residue introspection (public: soak tests and supervisors use these)
@@ -157,8 +202,8 @@ class Scheduler:
 
     @property
     def pending_timer_count(self) -> int:
-        """Number of armed (non-cancelled) timers."""
-        return sum(1 for _, _, handle in self._timers if not handle.cancelled)
+        """Number of armed (non-cancelled) timers (O(1), kept live)."""
+        return self._armed_timers
 
     def blocked_only_on(self, aliases: Iterable[Hashable]) -> list[Hashable]:
         """Names of processes whose *every* pending offer targets ``aliases``.
@@ -208,7 +253,9 @@ class Scheduler:
         process.killed = True
         process.state = ProcessState.DONE
         self._board.withdraw(name)
+        self._board_dirty = True
         self._waiters.pop(name, None)
+        self._withdraw_process_timers(name)
         self._release_aliases(process)
         self.tracer.emit(self.now, EventKind.PROC_DONE, name, killed=True)
         for listener in list(self._kill_listeners):
@@ -234,7 +281,9 @@ class Scheduler:
         if process.finished:
             return
         self._board.withdraw(name)
+        self._board_dirty = True
         self._waiters.pop(name, None)
+        self._withdraw_process_timers(name)
         self.tracer.emit(self.now, EventKind.INTERRUPT, name, error=repr(exc))
         self._throw(process, exc)
 
@@ -252,6 +301,31 @@ class Scheduler:
         """Schedule a process crash at virtual time ``time``."""
         self.schedule_at(time, lambda: self.kill(name))
 
+    def reap(self) -> int:
+        """Drop finished process records; returns how many were dropped.
+
+        Soak runs that spawn short-lived processes would otherwise grow
+        ``processes`` without bound.  Each reaped record's outcome
+        (result, failure, or kill) is snapshotted first, so a later
+        :class:`RunResult` still reports it.  If a reaped name is later
+        reused by :meth:`spawn`, the new process's outcome wins.
+        """
+        reaped = 0
+        for name, process in list(self.processes.items()):
+            if not process.finished:
+                continue
+            if process.killed:
+                self._reaped_killed.append(name)
+            elif process.state is ProcessState.FAILED:
+                self._reaped_failures[name] = process.error
+            else:
+                self._reaped_results[name] = process.result
+            self._process_timers.pop(name, None)
+            del self.processes[name]
+            reaped += 1
+        self._board.compact()
+        return reaped
+
     # ------------------------------------------------------------------
     # Alias registry
     # ------------------------------------------------------------------
@@ -263,10 +337,14 @@ class Scheduler:
                 f"alias {alias!r} already owned by {current.name!r}")
         self.alias_owner[alias] = process
         process.aliases.add(alias)
+        self._board.on_alias_claimed(alias, process)
+        self._board_dirty = True
 
     def _release_alias(self, alias: Hashable, process: Process) -> None:
         if self.alias_owner.get(alias) is process:
             del self.alias_owner[alias]
+            self._board.on_alias_released(alias, process)
+            self._board_dirty = True
         process.aliases.discard(alias)
 
     def _release_aliases(self, process: Process) -> None:
@@ -306,20 +384,38 @@ class Scheduler:
                 self._prune_timers()
                 if not self._timers:
                     if self._board.groups or self._waiters:
+                        # Settle once before declaring deadlock: a skipped
+                        # settle is only ever a no-op for *board* events,
+                        # but out-of-band state (say, a match filter healed
+                        # from inside a process body) can still unblock a
+                        # pending pair.
+                        self._settle()
+                        if self._ready:
+                            continue
                         raise DeadlockError(self._blocked_summary())
                     break
                 next_time = self._timers[0][0]
                 if until is not None and next_time > until:
                     self.now = until
                     break
+                # Timer actions are arbitrary callbacks (heals, kills,
+                # fault injections), so a clock advance always settles.
                 self._advance_clock(next_time)
                 self._settle()
                 continue
             process = self._ready.popleft()
-            if process.finished:
+            if process.state in _FINISHED_STATES:  # inlined Process.finished
                 continue
             self._step(process)
-            self._settle()
+            # Dirty-set settling: a step that neither posted nor withdrew
+            # offers nor moved an alias cannot create a candidate pair,
+            # and with no waiters parked there is nothing to poll.  Even
+            # a dirtying step is skippable when the board can prove its
+            # candidate set is empty (needs_settle; the full-scan board
+            # always claims it needs one).
+            if self._waiters or (self._board_dirty
+                                 and self._board.needs_settle):
+                self._settle()
         return RunResult(self)
 
     def _blocked_summary(self) -> dict[Hashable, str]:
@@ -332,25 +428,80 @@ class Scheduler:
 
     def _prune_timers(self) -> None:
         while self._timers and self._timers[0][2].cancelled:
-            heapq.heappop(self._timers)
+            _, _, handle = heapq.heappop(self._timers)
+            handle._in_heap = False
+            self._cancelled_in_heap -= 1
 
     def _advance_clock(self, to_time: float) -> None:
         self.now = to_time
         while self._timers and self._timers[0][0] <= self.now:
             _, _, handle = heapq.heappop(self._timers)
-            if not handle.cancelled:
-                handle.action()
+            handle._in_heap = False
+            if handle.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            self._armed_timers -= 1
+            self._unregister_timer(handle)
+            handle.action()
         self._prune_timers()
 
-    def _push_timer(self, time: float,
-                    action: Callable[[], None]) -> "TimerHandle":
+    def _push_timer(self, time: float, action: Callable[[], None],
+                    owner: Hashable | None = None) -> "TimerHandle":
         self._timer_seq += 1
-        handle = TimerHandle(action)
+        handle = TimerHandle(action, scheduler=self, owner=owner)
         heapq.heappush(self._timers, (time, self._timer_seq, handle))
+        self._armed_timers += 1
+        if owner is not None:
+            self._process_timers.setdefault(owner, set()).add(handle)
         return handle
 
+    def _unregister_timer(self, handle: "TimerHandle") -> None:
+        if handle.owner is None:
+            return
+        bucket = self._process_timers.get(handle.owner)
+        if bucket is not None:
+            bucket.discard(handle)
+            if not bucket:
+                del self._process_timers[handle.owner]
+
+    def _note_timer_cancelled(self, handle: "TimerHandle") -> None:
+        """Accounting callback from :meth:`TimerHandle.cancel`."""
+        self._armed_timers -= 1
+        self._cancelled_in_heap += 1
+        self._unregister_timer(handle)
+        # Compact once dead entries dominate, so long runs that cancel
+        # most of their timers (chaos soaks, timeout-heavy workloads)
+        # don't drag an ever-growing heap behind them.  Rebuilding keeps
+        # the (time, seq) keys, so pop order — and thus determinism — is
+        # unaffected.
+        if len(self._timers) > 64 and \
+                self._cancelled_in_heap * 2 > len(self._timers):
+            live = []
+            for entry in self._timers:
+                if entry[2].cancelled:
+                    entry[2]._in_heap = False
+                else:
+                    live.append(entry)
+            self._timers = live
+            heapq.heapify(self._timers)
+            self._cancelled_in_heap = 0
+
+    def _withdraw_process_timers(self, name: Hashable) -> None:
+        """Cancel every armed timer owned by ``name`` (it died).
+
+        Without this, a killed process's ``Delay`` / in-transit timers
+        stay in the heap and keep advancing the virtual clock just to
+        fire epoch-guarded no-ops, so quiescence lands late.
+        """
+        bucket = self._process_timers.pop(name, None)
+        if bucket is None:
+            return
+        for handle in bucket:
+            handle.owner = None  # bucket already popped
+            handle.cancel()
+
     def _make_ready(self, process: Process, value: Any = None) -> None:
-        if process.finished:
+        if process.state in _FINISHED_STATES:  # inlined Process.finished
             return
         process.set_resume(value)
         process.state = ProcessState.READY
@@ -388,12 +539,14 @@ class Scheduler:
         except StopIteration as stop:
             process.state = ProcessState.DONE
             process.result = stop.value
+            self._withdraw_process_timers(process.name)
             self._release_aliases(process)
             self.tracer.emit(self.now, EventKind.PROC_DONE, process.name)
             return
         except BaseException as exc:  # noqa: BLE001 - report any failure
             process.state = ProcessState.FAILED
             process.error = exc
+            self._withdraw_process_timers(process.name)
             self._release_aliases(process)
             self.tracer.emit(self.now, EventKind.PROC_FAIL, process.name,
                              error=repr(exc))
@@ -409,6 +562,8 @@ class Scheduler:
             process.state = ProcessState.FAILED
             process.error = exc
             self._board.withdraw(process.name)
+            self._board_dirty = True
+            self._withdraw_process_timers(process.name)
             self._release_aliases(process)
             self.tracer.emit(self.now, EventKind.PROC_FAIL, process.name,
                              error=repr(exc))
@@ -425,8 +580,9 @@ class Scheduler:
         group, which cancels the timer.
         """
         process.state = ProcessState.BLOCKED
-        process.blocked_reason = group.describe()
+        process._blocked_reason = group.describe  # rendered lazily on read
         self._board.post(group)
+        self._board_dirty = True
         if self.sink:
             self.sink.on_offer_posted(self.now, process.name)
         if timeout is None:
@@ -436,11 +592,13 @@ class Scheduler:
             if self._board.groups.get(process.name) is not group:
                 return  # already committed; stale timer
             self._board.withdraw(process.name)
+            self._board_dirty = True
             self.tracer.emit(self.now, EventKind.TIMEOUT, process.name,
                              waiting=group.describe())
             on_expiry(process)
 
-        group.expiry = self._push_timer(self.now + timeout, expire)
+        group.expiry = self._push_timer(self.now + timeout, expire,
+                                        owner=process.name)
 
     def _handle_effect(self, process: Process, effect: Any) -> None:
         if isinstance(effect, (Send, Receive)):
@@ -485,7 +643,8 @@ class Scheduler:
                              duration=effect.duration)
             self._push_timer(
                 self.now + effect.duration,
-                lambda p=process, e=process.epoch: self._make_ready_if(p, e))
+                lambda p=process, e=process.epoch: self._make_ready_if(p, e),
+                owner=process.name)
         elif isinstance(effect, WaitUntil):
             if effect.predicate():
                 self._make_ready(process)
@@ -542,57 +701,91 @@ class Scheduler:
             self._board.candidates_for(group, self.alias_owner)))
 
     def _settle(self) -> None:
-        """Commit matchable rendezvous and wake satisfied waiters to fixpoint."""
+        """Commit matchable rendezvous and wake satisfied waiters to fixpoint.
+
+        With the indexed board, each candidate query drains the live pair
+        set (O(pairs log pairs)) instead of re-scanning the whole board,
+        so a settle round costs O(what this step changed).  The caller
+        additionally skips the settle outright after steps that left
+        ``_board_dirty`` clear (nothing posted, withdrawn, or re-aliased)
+        when no waiters are parked — such a settle is provably a no-op,
+        since the previous one already drained the candidate set.  Waiter
+        predicates are polled once per settle (the triggering step or
+        timer may have changed what they observe) and re-polled only
+        while rounds keep changing state — a commit or a wake — since
+        nothing else can newly satisfy them; with no waiters parked the
+        poll pass is skipped outright.
+        """
+        self._board_dirty = False
+        board_candidates = self._board.candidates
+        owner = self.alias_owner
         changed = True
         while changed:
             changed = False
             while True:
-                candidates = self._filter_commits(
-                    self._board.candidates(self.alias_owner))
+                candidates = board_candidates(owner)
+                if candidates:
+                    allow = self.match_filter
+                    if allow is not None:
+                        candidates = [c for c in candidates
+                                      if allow(c.sender, c.receiver)]
                 if not candidates:
                     break
                 commit = self.rng.choice(candidates)
                 self._commit(commit)
                 changed = True
-            for name in list(self._waiters):
-                waiter = self._waiters.get(name)
-                if waiter is None:
-                    continue
-                if waiter.predicate():
-                    del self._waiters[name]
-                    self._make_ready(waiter.process)
-                    changed = True
+            if self._waiters:
+                for name in list(self._waiters):
+                    waiter = self._waiters.get(name)
+                    if waiter is None:
+                        continue
+                    if waiter.predicate():
+                        del self._waiters[name]
+                        self._make_ready(waiter.process)
+                        changed = True
 
     def _commit(self, commit: board_mod.Commit) -> None:
+        send = commit.send
+        recv = commit.recv
+        sender = send.group.process
+        receiver = recv.group.process
         self._board.remove_parties(commit)
-        sender_result, receiver_result = board_mod.resume_values(commit)
-        sender_identity = (commit.send.as_alias
-                           if commit.send.as_alias is not None
-                           else commit.sender.name)
+        if send.group.plain and recv.group.plain and not recv.with_sender:
+            # Fast path for the overwhelmingly common case — a bare
+            # send/receive pair — matching resume_values() exactly.
+            sender_result: Any = None
+            receiver_result: Any = send.value
+        else:
+            sender_result, receiver_result = board_mod.resume_values(commit)
+        sender_identity = (send.as_alias if send.as_alias is not None
+                           else sender.name)
         self.tracer.emit(
-            self.now, EventKind.COMM, commit.sender.name,
-            receiver=commit.receiver.name, to=commit.send.partner_alias,
-            sender_alias=sender_identity, tag=commit.send.tag,
-            value=commit.send.value)
+            self.now, EventKind.COMM, sender.name,
+            receiver=receiver.name, to=send.partner_alias,
+            sender_alias=sender_identity, tag=send.tag,
+            value=send.value)
         if self.sink:
-            self.sink.on_commit(self.now, commit.sender.name,
-                                commit.receiver.name, len(self._board),
-                                len(self._waiters))
+            self.sink.on_commit(self.now, sender.name, receiver.name,
+                                len(self._board), len(self._waiters))
+            self.sink.on_index(self.now, self._board.index_size,
+                               self._board.dirty_events)
         delay = self.transport(self, commit) if self.transport else 0.0
         if delay > 0:
             self._push_timer(
                 self.now + delay,
-                lambda p=commit.sender, e=commit.sender.epoch,
-                v=sender_result: self._make_ready_if(p, e, v))
+                lambda p=sender, e=sender.epoch,
+                v=sender_result: self._make_ready_if(p, e, v),
+                owner=sender.name)
             self._push_timer(
                 self.now + delay,
-                lambda p=commit.receiver, e=commit.receiver.epoch,
-                v=receiver_result: self._make_ready_if(p, e, v))
-            commit.sender.blocked_reason = "message in transit"
-            commit.receiver.blocked_reason = "message in transit"
+                lambda p=receiver, e=receiver.epoch,
+                v=receiver_result: self._make_ready_if(p, e, v),
+                owner=receiver.name)
+            sender.blocked_reason = "message in transit"
+            receiver.blocked_reason = "message in transit"
         else:
-            self._make_ready(commit.sender, sender_result)
-            self._make_ready(commit.receiver, receiver_result)
+            self._make_ready(sender, sender_result)
+            self._make_ready(receiver, receiver_result)
 
 
 def run_processes(bodies: Mapping[Hashable, ProcessBody] |

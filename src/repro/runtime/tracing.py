@@ -69,13 +69,18 @@ class EventKind(enum.Enum):
     USER = "user"
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(slots=True, eq=False)
 class TraceEvent:
-    """One observable action.
+    """One observable action.  Treat as immutable once emitted.
 
     ``seq`` is a global monotonically increasing sequence number (the total
     order in which the single-threaded scheduler performed actions); ``time``
     is the virtual clock at the moment of the action.
+
+    Not a frozen dataclass: events are allocated on the scheduler hot path
+    (one per commit) and ``frozen=True`` triples construction cost by
+    routing every field through ``object.__setattr__``.  ``eq=False``
+    keeps identity comparison/hashing, as frozen-by-convention data wants.
     """
 
     seq: int

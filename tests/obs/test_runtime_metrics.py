@@ -91,7 +91,8 @@ def test_replay_recovers_event_derived_metrics():
     live_dict = live.registry.to_dict()
     replayed_dict = replayed.registry.to_dict()
     for hook_only in ("rendezvous_match_latency", "board_size",
-                      "waiter_depth"):
+                      "waiter_depth", "match_index_pairs",
+                      "match_index_dirty_events"):
         live_dict.pop(hook_only, None)
     assert replayed_dict == live_dict
     assert replayed.performance_spans == live.performance_spans
