@@ -10,7 +10,9 @@ Commands:
 * ``demo broadcast``     — run a broadcast and print the delivery table;
 * ``demo lock``          — run the Figure 5 lock-manager workload;
 * ``demo election``      — run a ring leader election;
-* ``chaos <script>``     — soak a script under seeded fault injection;
+* ``chaos <script>``     — soak a script under seeded fault injection
+  (``--recover`` switches to the recovery soak: crashed processes are
+  restarted with backoff and aborted performances retried);
 * ``trace <scenario>``   — run an instrumented scenario and export its
   span tree as Chrome trace-event JSON (plus optional JSONL);
 * ``stats <scenario>``   — run a scenario and print its metrics summary.
@@ -163,6 +165,28 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Soak a script under deterministic fault injection."""
+    if args.recover:
+        from .recovery import recover_soak, verify_recover_determinism
+        if args.script != "broadcast":
+            print("chaos --recover supports only the broadcast script",
+                  file=sys.stderr)
+            return 2
+        report = recover_soak(runs=args.runs, seed=args.seed)
+        for line in report.lines():
+            print(line)
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8",
+                      newline="") as handle:
+                handle.write(report.base_trace + "\n")
+            print(f"  trace         wrote base seed {args.seed} to "
+                  f"{args.trace_out}")
+        if args.verify:
+            same = verify_recover_determinism(seed=args.seed)
+            print(f"  determinism   seed {args.seed} replayed "
+                  f"{'identically' if same else 'DIFFERENTLY'}")
+            if not same:
+                return 1
+        return 0
     from .faults import SCRIPTS, soak, verify_determinism
     if args.script not in SCRIPTS:
         print(f"unknown chaos script {args.script!r}; try: "
@@ -171,6 +195,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report = soak(args.script, runs=args.runs, seed=args.seed)
     for line in report.lines():
         print(line)
+    if args.trace_out:
+        print("  trace         --trace-out applies only with --recover",
+              file=sys.stderr)
     if args.verify:
         same = verify_determinism(args.script, seed=args.seed)
         print(f"  determinism   seed {args.seed} replayed "
@@ -256,11 +283,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser("chaos", help="chaos-soak a script under "
                                          "seeded fault injection")
-    chaos.add_argument("script", choices=["broadcast", "lock"])
+    chaos.add_argument("script", nargs="?", default="broadcast",
+                       choices=["broadcast", "lock"])
     chaos.add_argument("--runs", type=int, default=100,
                        help="number of seeded runs (default 100)")
     chaos.add_argument("--seed", type=int, default=0,
                        help="base seed; run i uses seed+i")
+    chaos.add_argument("--recover", action="store_true",
+                       help="recovery mode: restart crashed processes and "
+                            "retry aborted performances (broadcast only; "
+                            "default 25 runs is advisable via --runs)")
+    chaos.add_argument("--trace-out", default=None,
+                       help="with --recover: write the base seed's "
+                            "formatted trace to this path (CI artifact)")
     chaos.add_argument("--verify", action="store_true",
                        help="also replay the base seed twice and compare "
                             "traces")

@@ -317,6 +317,10 @@ class ScriptInstance:
         request.performance = performance
         request.assigned_role = role_id
         performance.filled[role_id] = request
+        # A vacated-then-refilled role (pre-seal crash, new enrollee — e.g.
+        # a supervised restart) is no longer crashed: its address is live
+        # again and must not poison later absent-fallback dead sets.
+        performance.crashed.discard(role_id)
         self.pool.remove(request)
         if self.current is None:
             self.current = performance

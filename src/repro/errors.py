@@ -144,6 +144,27 @@ class CrashedPartnerSignal(ProcessInterrupt):
             f"{sorted(map(repr, self.addresses))}")
 
 
+class DeliveryFailed(ProcessInterrupt):
+    """A committed rendezvous could not be delivered within the retry budget.
+
+    Raised by a :class:`~repro.net.transport.NetworkTransport` whose
+    per-message :class:`~repro.net.transport.RetrySchedule` is exhausted by
+    an active drop window: the message would need more retransmissions than
+    the schedule allows.  The scheduler surfaces it like a timeout — thrown
+    into *both* parties at their communication yield point, after their
+    offers have already left the board — so handlers can retry or give up
+    exactly as they would for a :class:`TimeoutError`.
+    """
+
+    def __init__(self, sender: object, receiver: object, attempts: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.attempts = attempts
+        super().__init__(
+            f"delivery from {sender!r} to {receiver!r} failed after "
+            f"{attempts} attempt(s)")
+
+
 class PerformanceAborted(ProcessInterrupt, ScriptError):
     """A performance was aborted because a critical role's process crashed.
 
@@ -229,6 +250,10 @@ class ChaosInvariantError(ReproError):
     The message names the offending seed, so any soak failure is
     reproducible by rerunning that single seed.
     """
+
+
+class RecoveryError(ReproError):
+    """A recovery policy is misconfigured or was driven illegally."""
 
 
 # ---------------------------------------------------------------------------

@@ -74,6 +74,14 @@ class FaultEvent:
                                  f"choose from {KINDS}")
         if self.time < 0:
             raise FaultPlanError(f"fault time must be >= 0, got {self.time}")
+        if self.kind in (PARTITION, HEAL):
+            # Fail at construction, not at fire time inside a timer
+            # callback with an opaque unpack error.
+            if (not isinstance(self.target, tuple)
+                    or len(self.target) != 2):
+                raise FaultPlanError(
+                    f"{self.kind} target must be a 2-tuple of nodes, "
+                    f"got {self.target!r}")
 
     def describe(self) -> str:
         """One-line human-readable rendering (CLI and traces)."""
@@ -215,9 +223,13 @@ class FaultPlan:
         """Arm one timer per event; return the handles (for cancellation).
 
         Network events require ``transport``; purely crash-based plans do
-        not.  When a transport is supplied and the scheduler has no match
-        filter yet, the transport's partition-aware filter is installed so
-        cut links actually block rendezvous.
+        not.  When a transport is supplied, its partition-aware filter is
+        installed so cut links actually block rendezvous; if the scheduler
+        already has a *different* match filter, the two are composed with
+        AND (both must allow a pair), so neither silently shadows the
+        other.  The transport's ``rendezvous_deadline``, when set, is
+        copied onto ``scheduler.match_deadline`` so a pair blocked by the
+        partition times out instead of waiting forever.
         """
         for event in self.events:
             if event.kind in _TRANSPORT_KINDS and transport is None:
@@ -227,8 +239,21 @@ class FaultPlan:
                 raise FaultPlanError(
                     f"event {event.describe()!r} is in the past "
                     f"(now={scheduler.now})")
-        if transport is not None and scheduler.match_filter is None:
-            scheduler.match_filter = transport.match_filter
+        if transport is not None:
+            existing = scheduler.match_filter
+            # ``transport.match_filter`` is a bound method, recreated per
+            # access — compare with ``==`` so re-installing the same
+            # transport stays idempotent instead of stacking wrappers.
+            if existing is None:
+                scheduler.match_filter = transport.match_filter
+            elif existing != transport.match_filter:
+                def composed(sender, receiver, _first=existing,
+                             _second=transport.match_filter) -> bool:
+                    return (_first(sender, receiver)
+                            and _second(sender, receiver))
+                scheduler.match_filter = composed
+            if transport.rendezvous_deadline is not None:
+                scheduler.match_deadline = transport.rendezvous_deadline
         return [scheduler.schedule_at(
                     event.time, self._action(scheduler, transport, event))
                 for event in self.events]

@@ -2,11 +2,12 @@
 
 from .topology import (Topology, TopologyError, binary_tree, complete, line,
                        ring, star)
-from .transport import MessageStats, NetworkTransport
+from .transport import MessageStats, NetworkTransport, RetrySchedule
 
 __all__ = [
     "MessageStats",
     "NetworkTransport",
+    "RetrySchedule",
     "Topology",
     "TopologyError",
     "binary_tree",

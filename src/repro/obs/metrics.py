@@ -302,6 +302,22 @@ class RuntimeMetrics(Sink):
             self._posted_at.pop(event.process, None)
         elif kind is EventKind.FAULT:
             registry.counter("faults_total", label=event.get("fault")).inc()
+        elif kind is EventKind.RECOVERY:
+            action = event.get("action")
+            registry.counter("recovery_actions_total", label=action).inc()
+            if action == "restart_scheduled":
+                registry.histogram("recovery_backoff_delay").observe(
+                    event.get("delay", 0.0))
+            elif action == "restart":
+                registry.counter("recovery_restarts_total").inc()
+            elif action == "quarantine":
+                registry.counter("recovery_quarantines_total").inc()
+            elif action == "performance_retry":
+                registry.counter("performance_retries_total").inc()
+            elif action == "retry_exhausted":
+                registry.counter("recovery_retry_exhaustions_total").inc()
+            elif action == "performance_recovered":
+                registry.counter("performances_recovered").inc()
         elif kind is EventKind.ENROLL_REQUEST:
             key = (event.get("instance"), event.process)
             if event.get("withdrawn"):

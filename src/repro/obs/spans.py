@@ -186,6 +186,12 @@ class _Builder:
                           target=event.get("target") or event.process,
                           value=event.get("value"),
                           applied=event.get("applied"))
+        elif kind is EventKind.RECOVERY:
+            self._instant(event, f"recovery:{event.get('action')}",
+                          self._instant_parent(event),
+                          target=event.process,
+                          **{k: v for k, v in event.details.items()
+                             if k != "action"})
         elif kind is EventKind.INTERRUPT:
             self._instant(event, "interrupt", self._instant_parent(event),
                           process=event.process, error=event.get("error"))

@@ -21,9 +21,9 @@ import random
 from collections import deque
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
-from ..errors import (DeadlockError, InvalidEffectError, ProcessFailure,
-                      RuntimeKernelError, StepLimitExceeded, TimeoutError,
-                      UnknownProcessError)
+from ..errors import (DeadlockError, DeliveryFailed, InvalidEffectError,
+                      ProcessFailure, RuntimeKernelError, StepLimitExceeded,
+                      TimeoutError, UnknownProcessError)
 from . import board as board_mod
 from .board import OfferGroup, RendezvousBoard, make_group
 from .board_index import IndexedBoard
@@ -158,6 +158,11 @@ class Scheduler:
         self.fail_fast = fail_fast
         self.transport = transport
         self.match_filter: MatchFilter | None = None
+        # Optional bound on how long a *vetoed* rendezvous may wait for the
+        # match filter to relent (e.g. a partition to heal).  When set, the
+        # first settle that sees a filtered-out candidate arms a timeout on
+        # both parties' offer groups; a commit beforehand cancels it.
+        self.match_deadline: float | None = None
         self.now: float = 0.0
         self.total_steps = 0
         self.processes: dict[Hashable, Process] = {}
@@ -235,6 +240,29 @@ class Scheduler:
         self._ready.append(process)
         self.tracer.emit(self.now, EventKind.SPAWN, name)
         return process
+
+    def respawn(self, name: Hashable, body: ProcessBody) -> Process:
+        """Re-register a finished process name with a fresh body.
+
+        Restart policies use this to bring a crashed process back: the old
+        record's outcome is snapshotted first (exactly as :meth:`reap` would
+        have), so a later :class:`RunResult` still reports the kill/failure
+        that triggered the restart.  Raises if the name is still running.
+        """
+        old = self.processes.get(name)
+        if old is not None:
+            if not old.finished:
+                raise RuntimeKernelError(
+                    f"cannot respawn {name!r}: process still running")
+            if old.killed:
+                self._reaped_killed.append(name)
+            elif old.state is ProcessState.FAILED:
+                self._reaped_failures[name] = old.error
+            else:
+                self._reaped_results[name] = old.result
+            self._process_timers.pop(name, None)
+            del self.processes[name]
+        return self.spawn(name, body)
 
     def kill(self, name: Hashable) -> None:
         """Terminate a process immediately (fault injection).
@@ -727,8 +755,13 @@ class Scheduler:
                 if candidates:
                     allow = self.match_filter
                     if allow is not None:
-                        candidates = [c for c in candidates
-                                      if allow(c.sender, c.receiver)]
+                        passed = []
+                        for c in candidates:
+                            if allow(c.sender, c.receiver):
+                                passed.append(c)
+                            elif self.match_deadline is not None:
+                                self._arm_match_deadline(c)
+                        candidates = passed
                 if not candidates:
                     break
                 commit = self.rng.choice(candidates)
@@ -743,6 +776,35 @@ class Scheduler:
                         del self._waiters[name]
                         self._make_ready(waiter.process)
                         changed = True
+
+    def _arm_match_deadline(self, commit: board_mod.Commit) -> None:
+        """Bound a filter-vetoed candidate pair's wait by ``match_deadline``.
+
+        Arms an expiry timer on each party's offer group (idempotently: a
+        group that already carries an expiry — from a select timeout, a
+        ``Deadline``, or an earlier veto — keeps it).  If the pair commits
+        before the timer fires, the withdraw cancels it; otherwise the
+        party's offers are withdrawn and a :class:`TimeoutError` is thrown
+        in, exactly like an expired ``Deadline``.
+        """
+        deadline = self.now + self.match_deadline
+        for offer in (commit.send, commit.recv):
+            group = offer.group
+            if group.expiry is not None:
+                continue
+            process = group.process
+
+            def expire(p=process, g=group, t=deadline) -> None:
+                if self._board.groups.get(p.name) is not g:
+                    return  # already committed; stale timer
+                self._board.withdraw(p.name)
+                self._board_dirty = True
+                self.tracer.emit(self.now, EventKind.TIMEOUT, p.name,
+                                 waiting=g.describe())
+                self._throw(p, TimeoutError(p.name, t, g.describe()))
+
+            group.expiry = self._push_timer(deadline, expire,
+                                            owner=process.name)
 
     def _commit(self, commit: board_mod.Commit) -> None:
         send = commit.send
@@ -759,6 +821,22 @@ class Scheduler:
             sender_result, receiver_result = board_mod.resume_values(commit)
         sender_identity = (send.as_alias if send.as_alias is not None
                            else sender.name)
+        # The transport runs before the COMM event so a delivery failure
+        # leaves no phantom "communication happened" record; on success the
+        # trace content is unchanged (the transport only returns a latency).
+        if self.transport is not None:
+            try:
+                delay = self.transport(self, commit)
+            except DeliveryFailed as failure:
+                self.tracer.emit(
+                    self.now, EventKind.FAULT, sender.name,
+                    fault="delivery_failed", target=receiver.name,
+                    value=failure.attempts, applied=True)
+                self._throw(sender, failure)
+                self._throw(receiver, failure)
+                return
+        else:
+            delay = 0.0
         self.tracer.emit(
             self.now, EventKind.COMM, sender.name,
             receiver=receiver.name, to=send.partner_alias,
@@ -769,7 +847,6 @@ class Scheduler:
                                 len(self._board), len(self._waiters))
             self.sink.on_index(self.now, self._board.index_size,
                                self._board.dirty_events)
-        delay = self.transport(self, commit) if self.transport else 0.0
         if delay > 0:
             self._push_timer(
                 self.now + delay,

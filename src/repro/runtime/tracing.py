@@ -55,6 +55,7 @@ class EventKind(enum.Enum):
     TIMEOUT = "timeout"               # a Deadline/ReceiveTimeout/Select expired
     INTERRUPT = "interrupt"           # an exception was thrown into a process
     FAULT = "fault"                   # an injected fault event fired
+    RECOVERY = "recovery"             # a recovery action (restart/retry/...)
     # Script-layer events (emitted by repro.core):
     INSTANCE_CREATED = "instance_created"
     ENROLL_REQUEST = "enroll_request"

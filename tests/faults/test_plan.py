@@ -161,6 +161,142 @@ def test_slow_and_drop_windows_mutate_and_restore_the_transport():
         (1.0, 0))   # t=6.5: everything restored
 
 
+def test_partition_and_heal_targets_must_be_node_pairs():
+    # Malformed targets must fail at construction, not as an opaque
+    # unpack error inside a timer callback mid-run.
+    with pytest.raises(FaultPlanError, match="2-tuple"):
+        FaultEvent(1.0, "partition", target="a")
+    with pytest.raises(FaultPlanError, match="2-tuple"):
+        FaultEvent(1.0, "heal", target=("a", "b", "c"))
+    with pytest.raises(FaultPlanError, match="2-tuple"):
+        FaultEvent(1.0, "partition", target=None)
+    # A proper pair is accepted.
+    FaultEvent(1.0, "partition", target=("a", "b"))
+
+
+def test_install_composes_an_existing_match_filter_with_and():
+    """A pre-existing scheduler filter must keep vetoing after a plan
+    installs the transport's partition filter — neither may shadow the
+    other (the old behavior silently overwrote the first)."""
+    scheduler = Scheduler()
+    transport = _two_node_transport()
+    scheduler.transport = transport
+    vetoes = []
+
+    def never_receiver_first(sender, receiver):
+        vetoes.append((sender.name, receiver.name))
+        return receiver.name != "blocked"
+
+    scheduler.match_filter = never_receiver_first
+    FaultPlan().slow(50.0, 2.0).install(scheduler, transport=transport)
+    assert scheduler.match_filter is not never_receiver_first  # composed
+
+    def sender():
+        yield Send("blocked", "never")
+
+    def blocked():
+        value = yield ReceiveTimeout(timeout=3.0)
+        return value
+
+    scheduler.spawn("sender", sender())
+    scheduler.spawn("blocked", blocked())
+    scheduler.transport.place("blocked", "b")
+    result = scheduler.run(until=10.0)
+    # The custom filter was consulted and vetoed the pair: the receive
+    # timed out instead of committing.
+    assert result.results["blocked"] is TIMED_OUT
+    assert ("sender", "blocked") in vetoes
+
+
+def test_reinstalling_the_same_transport_does_not_stack_filters():
+    scheduler = Scheduler()
+    transport = _two_node_transport()
+    FaultPlan().slow(1.0, 2.0).install(scheduler, transport=transport)
+    first = scheduler.match_filter
+    FaultPlan().slow(2.0, 3.0).install(scheduler, transport=transport)
+    # Bound methods compare equal, so the second install is idempotent.
+    assert scheduler.match_filter == first == transport.match_filter
+
+
+def test_install_copies_rendezvous_deadline_onto_the_scheduler():
+    scheduler = Scheduler()
+    topology = Topology("pair")
+    topology.add_link("a", "b", 1.0)
+    transport = NetworkTransport(topology, {"sender": "a", "receiver": "b"},
+                                 rendezvous_deadline=4.0)
+    FaultPlan().slow(1.0, 2.0).install(scheduler, transport=transport)
+    assert scheduler.match_deadline == 4.0
+
+
+def test_unhealed_partition_times_out_blocked_pair_via_deadline():
+    from repro.errors import TimeoutError as ReproTimeout
+
+    scheduler = Scheduler()
+    topology = Topology("pair")
+    topology.add_link("a", "b", 1.0)
+    transport = NetworkTransport(topology, {"sender": "a", "receiver": "b"},
+                                 rendezvous_deadline=2.0)
+    scheduler.transport = transport
+    outcomes = {}
+
+    def sender():
+        yield Delay(1.0)   # offer only once the partition is up
+        try:
+            yield Send("receiver", "never")
+        except ReproTimeout as exc:
+            outcomes["sender"] = exc.deadline
+            return "gave up"
+
+    def receiver():
+        try:
+            yield Receive()
+        except ReproTimeout as exc:
+            outcomes["receiver"] = exc.deadline
+            return "gave up"
+
+    scheduler.spawn("sender", sender())
+    scheduler.spawn("receiver", receiver())
+    FaultPlan().partition(0.5, "a", "b").install(scheduler,
+                                                 transport=transport)
+    result = scheduler.run()
+    # The pair is vetoed at t=1 (sender's offer meets the cut link) and
+    # expires match_deadline later instead of deadlocking forever.
+    assert result.results == {"sender": "gave up", "receiver": "gave up"}
+    assert outcomes == {"sender": 3.0, "receiver": 3.0}
+    assert scheduler.pending_timer_count == 0
+
+
+def test_random_plans_reproducible_across_shapes():
+    shapes = [
+        dict(processes=["p", "q"], crashes=2),
+        dict(links=[("a", "b"), ("b", "c")], partitions=2),
+        dict(slow_windows=2, drop_windows=2),
+        dict(processes=["p"], links=[("a", "b")], crashes=1, partitions=1,
+             slow_windows=1, drop_windows=1, not_before=3.0, horizon=9.0),
+    ]
+    for shape in shapes:
+        first = FaultPlan.random(11, **shape)
+        second = FaultPlan.random(11, **shape)
+        assert first.events == second.events, shape
+        for event in first:
+            assert event.time >= shape.get("not_before", 0.0)
+    with pytest.raises(FaultPlanError):
+        FaultPlan.random(0, horizon=1.0, not_before=2.0)
+
+
+def test_install_rejects_events_already_in_the_past_mid_run():
+    scheduler = Scheduler()
+
+    def sleeper():
+        yield Delay(5.0)
+
+    scheduler.spawn("sleeper", sleeper())
+    scheduler.run()
+    assert scheduler.now == 5.0
+    with pytest.raises(FaultPlanError, match="past"):
+        FaultPlan().crash(2.0, "sleeper").install(scheduler)
+
+
 def test_describe_is_human_readable():
     plan = (FaultPlan().crash(1.0, "p").partition(2.0, "a", "b")
             .slow(3.0, 2.0).drop(4.0, 1))

@@ -139,6 +139,44 @@ def test_sender_blocked_on_dead_partner_gets_unfilled_value():
     assert_no_residue(scheduler, instance)
 
 
+def test_refilled_role_is_dropped_from_the_crashed_set():
+    """Pre-seal crash vacates a role; a replacement enrollee refills it.
+
+    The refill must clear the role from ``performance.crashed`` — a later
+    post-seal crash of a *different* role computes its absent-fallback
+    dead set from that record, and a stale entry would treat the live
+    replacement's address as dead, spuriously unwinding every process
+    blocked on it (found by the recovery soak, seed 138)."""
+    scheduler, instance, supervisor, transport, _ = build()
+
+    def replacement():
+        yield Delay(1.5)
+        yield from instance.enroll("sender", data="v2")
+        return "sent2"
+
+    scheduler.spawn("S2", replacement())
+    transport.place("S2", "hub")
+    # Kill the original sender pre-seal: the role vacates, then S2's
+    # pooled request refills it (fresh role body => seal at t=3.5, sends
+    # from t=3.5).  R1's delivery is in flight at t=4.2 when R1 dies.
+    (FaultPlan()
+     .crash(1.0, "S")
+     .crash(4.2, ("R", 1))
+     .install(scheduler))
+    result = scheduler.run()
+    performance = instance.performances[0]
+    assert supervisor.crashes == 2 and supervisor.aborts == 0
+    assert not performance.is_crashed("sender")          # refilled => live
+    assert performance.is_crashed(("recipient", 1))
+    assert performance.ended and not performance.aborted
+    # R2 and R3 must still hear from the *replacement* sender — with the
+    # stale entry they were interrupted as if the sender were dead.
+    assert result.results["S2"] == "sent2"
+    assert result.results[("R", 2)] == "v2"
+    assert result.results[("R", 3)] == "v2"
+    assert_no_residue(scheduler, instance)
+
+
 def test_critical_crash_aborts_and_releases_survivors():
     scheduler, instance, supervisor, _, state = build()
     FaultPlan().crash(2.5, "S").install(scheduler)

@@ -4,7 +4,9 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.net import MessageStats, NetworkTransport, Topology, TopologyError
+from repro.errors import DeliveryFailed
+from repro.net import (MessageStats, NetworkTransport, RetrySchedule,
+                       Topology, TopologyError)
 
 
 def _pair(zero_weight=False):
@@ -99,10 +101,67 @@ def test_drop_retries_repay_latency_and_count_dropped():
     assert transport.stats.dropped == 2
 
 
-def test_zero_weight_link_ignores_drop_and_slow_knobs():
+def test_zero_weight_link_is_remote_and_pays_drop_retries():
+    # A zero-weight link between distinct nodes is still a link: drop
+    # faults force retransmissions (counted), and the latency factor
+    # applies uniformly (scaling zero is still zero).  Only same-node
+    # rendezvous are exempt from fault knobs.
     transport = NetworkTransport(_pair(zero_weight=True), {"p": "a", "q": "b"})
     transport.latency_factor = 5.0
     transport.drop_retries = 4
     assert transport(None, _commit("p", "q")) == 0.0
-    assert transport.stats.dropped == 0
+    assert transport.stats.dropped == 4
     assert transport.stats.remote_messages == 1
+
+
+def test_same_node_is_exempt_from_drop_and_latency_knobs():
+    transport = NetworkTransport(_pair(), {"p": "a", "q": "b", "r": "b"})
+    transport.latency_factor = 5.0
+    transport.drop_retries = 4
+    assert transport(None, _commit("q", "r")) == 0.0
+    assert transport.stats.dropped == 0
+    assert transport.stats.local_messages == 1
+
+
+def test_retry_schedule_backoff_shape():
+    schedule = RetrySchedule(max_attempts=5, backoff_base=0.5,
+                             backoff_factor=2.0, backoff_cap=3.0)
+    assert schedule.backoff(0) == 0.5
+    assert schedule.backoff(1) == 1.0
+    assert schedule.backoff(2) == 2.0
+    assert schedule.backoff(3) == 3.0   # capped (would be 4.0)
+    assert schedule.total_backoff(4) == 6.5
+    # Default (base 0) prices nothing: historical latency*(1+retries).
+    assert RetrySchedule().total_backoff(7) == 0.0
+
+
+def test_retry_schedule_validates():
+    with pytest.raises(ValueError):
+        RetrySchedule(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetrySchedule(backoff_base=-1.0)
+
+
+def test_drop_retries_add_backoff_to_repaid_latency():
+    transport = NetworkTransport(
+        _pair(), {"p": "a", "q": "b"},
+        retry=RetrySchedule(max_attempts=8, backoff_base=0.5))
+    transport.drop_retries = 2
+    # 1.0 * (1 + 2 retransmits) + backoff(0) + backoff(1) = 3.0 + 1.5
+    assert transport(None, _commit("p", "q")) == 4.5
+    assert transport.stats.dropped == 2
+
+
+def test_exhausted_retry_budget_raises_delivery_failed():
+    transport = NetworkTransport(
+        _pair(), {"p": "a", "q": "b"},
+        retry=RetrySchedule(max_attempts=3))
+    transport.drop_retries = 3   # 4 attempts > budget of 3
+    with pytest.raises(DeliveryFailed) as excinfo:
+        transport(None, _commit("p", "q"))
+    assert excinfo.value.attempts == 3
+    assert transport.stats.delivery_failures == 1
+    assert transport.stats.messages == 0   # never delivered, never recorded
+    # Within budget the same transport delivers again.
+    transport.drop_retries = 2
+    assert transport(None, _commit("p", "q")) == 3.0

@@ -105,3 +105,21 @@ def test_module_entry_point_via_subprocess():
         capture_output=True, text=True, timeout=60)
     assert completed.returncode == 0
     assert "fig3" in completed.stdout
+
+
+def test_chaos_recover_soak_with_trace_artifact(tmp_path, capsys):
+    trace = tmp_path / "recover.trace"
+    assert main(["chaos", "--recover", "--runs", "2", "--verify",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "recovery soak" in out
+    assert "restarts" in out
+    assert "replayed identically" in out
+    content = trace.read_text()
+    assert "recovery" in content       # RECOVERY events land in the artifact
+    assert "restart" in content
+
+
+def test_chaos_recover_rejects_non_broadcast_scripts(capsys):
+    assert main(["chaos", "lock", "--recover"]) == 2
+    assert "broadcast" in capsys.readouterr().err
