@@ -5,7 +5,12 @@ Commands:
 * ``figures``            — list the paper's figures shipped as sources;
 * ``show <figure>``      — print a figure's script-language source;
 * ``check <file>``       — parse and semantically check a script file;
-* ``lint <file>``        — flag communications that can never rendezvous;
+* ``analyze <files>``    — full static analysis: index-aware communication
+  graph, guaranteed-deadlock detection, critical-set feasibility; stable
+  ``SCRnnn`` diagnostic codes, ``--json`` for deterministic JSON,
+  ``--strict`` to fail on warnings, ``--figures`` for the paper corpus;
+* ``lint <file>``        — legacy communication lint (subsumed by
+  ``analyze``; kept for compatibility);
 * ``format <file>``      — pretty-print a script file (round-trippable);
 * ``demo broadcast``     — run a broadcast and print the delivery table;
 * ``demo lock``          — run the Figure 5 lock-manager workload;
@@ -15,7 +20,12 @@ Commands:
   restarted with backoff and aborted performances retried);
 * ``trace <scenario>``   — run an instrumented scenario and export its
   span tree as Chrome trace-event JSON (plus optional JSONL);
-* ``stats <scenario>``   — run a scenario and print its metrics summary.
+* ``stats <scenario>``   — run a scenario and print its metrics summary
+  (``stats analysis`` summarizes a static-analysis run over the figures).
+
+Exit codes for the file-checking commands (``check``/``analyze``/
+``lint``/``format``): 0 clean, 1 findings, 2 usage or parse/semantic
+error.
 
 The CLI is a thin shell over the library; every command is available
 programmatically (see the modules referenced in each handler).
@@ -72,7 +82,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         info = analyze(program)
     except ScriptLangError as error:
         print(f"{args.file}: {error}", file=sys.stderr)
-        return 1
+        return 2
     roles = []
     for role in program.roles:
         if role.is_family:
@@ -87,19 +97,73 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the communication lint over a script file."""
+    """Run the (legacy) communication lint over a script file.
+
+    Subsumed by ``analyze``: the historic warning strings come from the
+    full analyzer's SCR001/SCR002 findings.  ``--json`` emits the full
+    structured report instead; ``--strict`` fails on *any* analyzer
+    finding rather than only the legacy warnings.
+    """
     try:
         program = _load_program(args.file)
         analyze(program)
     except ScriptLangError as error:
         print(f"{args.file}: {error}", file=sys.stderr)
-        return 1
+        return 2
+    from .analysis import analyze_program, dump_report_json
+    report = analyze_program(program, label=args.file)
     warnings = lint_communications(program)
-    for warning in warnings:
-        print(f"{args.file}: {warning}")
-    if warnings:
+    if args.json:
+        print(dump_report_json([report]))
+    else:
+        for warning in warnings:
+            print(f"{args.file}: {warning}")
+        if not warnings:
+            print(f"{args.file}: no communication warnings")
+    if warnings or (args.strict and report.findings):
         return 1
-    print(f"{args.file}: no communication warnings")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the full static analysis over script files."""
+    from .analysis import analyze_source, dump_report_json, figure_corpus
+    targets: list[tuple[str, str]] = []
+    if args.figures:
+        targets.extend(figure_corpus())
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                targets.append((path, handle.read()))
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            return 2
+    if not targets:
+        print("analyze: no inputs (pass script files and/or --figures)",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for label, source in targets:
+        try:
+            reports.append(analyze_source(source, label=label))
+        except ScriptLangError as error:
+            print(f"{label}: {error}", file=sys.stderr)
+            return 2
+    errors = sum(report.error_count for report in reports)
+    warnings = sum(report.warning_count for report in reports)
+    if args.json:
+        print(dump_report_json(reports))
+    else:
+        for report in reports:
+            if report.clean:
+                print(f"{report.label}: clean")
+            else:
+                for line in report.lines():
+                    print(line)
+        print(f"{len(reports)} file(s): {errors} error(s), "
+              f"{warnings} warning(s)")
+    if errors or (args.strict and warnings):
+        return 1
     return 0
 
 
@@ -109,7 +173,7 @@ def cmd_format(args: argparse.Namespace) -> int:
         program = _load_program(args.file)
     except ScriptLangError as error:
         print(f"{args.file}: {error}", file=sys.stderr)
-        return 1
+        return 2
     print(format_program(program))
     return 0
 
@@ -235,6 +299,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
     from .obs import jsonable, run_scenario
+    if args.scenario == "analysis":
+        from .analysis import analyze_corpus, record_analysis
+        reports = analyze_corpus()
+        registry = record_analysis(reports)
+        if args.json:
+            print(json.dumps(jsonable(registry.to_dict()), sort_keys=True,
+                             indent=2))
+            return 0
+        print(f"analysis: {len(reports)} figure source(s) analyzed")
+        print()
+        print(registry.render_text())
+        return 0
     run = run_scenario(args.scenario, seed=args.seed, n=args.n)
     if args.json:
         print(json.dumps(jsonable(run.metrics.to_dict()), sort_keys=True,
@@ -265,9 +341,28 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.set_defaults(handler=cmd_check)
 
-    lint = sub.add_parser("lint", help="communication lint for a script")
+    lint = sub.add_parser("lint", help="legacy communication lint "
+                                       "(subsumed by analyze)")
     lint.add_argument("file")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on any analyzer finding, not only the "
+                           "legacy warnings")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full structured report as JSON")
     lint.set_defaults(handler=cmd_lint)
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="full static analysis of script files")
+    analyze_cmd.add_argument("files", nargs="*",
+                             help="script-language source files")
+    analyze_cmd.add_argument("--figures", action="store_true",
+                             help="also analyze the shipped paper figures")
+    analyze_cmd.add_argument("--strict", action="store_true",
+                             help="exit nonzero on warnings, not only "
+                                  "errors")
+    analyze_cmd.add_argument("--json", action="store_true",
+                             help="emit deterministic diagnostics JSON")
+    analyze_cmd.set_defaults(handler=cmd_analyze)
 
     fmt = sub.add_parser("format", help="pretty-print a script file")
     fmt.add_argument("file")
@@ -320,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="run a scenario and print its "
                                          "metrics summary")
-    stats.add_argument("scenario", choices=SCENARIOS)
+    stats.add_argument("scenario", choices=[*SCENARIOS, "analysis"])
     stats.add_argument("--seed", type=int, default=0)
     stats.add_argument("--n", type=int, default=5,
                        help="scenario size (recipients/stations)")

@@ -1,0 +1,228 @@
+"""Per-role-instance control-flow graphs and guaranteed execution prefixes.
+
+:func:`build_cfg` turns a role body into an explicit CFG over the six
+statement kinds (assign, send, receive, if, guarded-do, skip) — the
+structural substrate for flow-sensitive checks and a convenient artifact
+to test the statement walker against (nested IFs, guarded-DO arms,
+replicators).
+
+:func:`guaranteed_prefix` extracts, for one concrete role *instance*, the
+sequence of communications that **must** happen, in order, before anything
+data-dependent can occur.  The walk folds IF conditions that are static for
+the instance (the family index variable is a known constant, so Figure 4's
+``IF i = 1`` resolves per recipient) and stops — marking the prefix
+*incomplete* — at the first genuinely dynamic point: an unfoldable IF
+condition, any guarded DO, or a communication whose partner index cannot
+be resolved.  Everything in a complete prefix is unconditional, which is
+what makes deadlock findings built on it *guaranteed* rather than
+possible (see DESIGN.md §11 for the soundness argument).
+
+A communication whose resolved target is outside the partner family's
+bounds is a rendezvous with an *absent* role: under the default
+DISTINGUISHED unfilled-role policy the engine returns the distinguished
+value and the role carries on, so the walk records no operation and
+continues — mirroring the runtime exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..lang import ast_nodes as ast
+from ..lang.analysis import ProgramInfo
+from .graph import Instance, static_eval
+
+# ---------------------------------------------------------------------------
+# Control-flow graph
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class CFGNode:
+    """One CFG node: a statement occurrence (or the entry/exit sentinel)."""
+
+    id: int
+    kind: str                  # "entry" | "exit" | "assign" | "send" |
+                               # "receive" | "if" | "do" | "skip"
+    line: int
+    succs: list[int] = dataclasses.field(default_factory=list)
+
+
+class CFG:
+    """A role body's control-flow graph.  Node 0 is entry, node 1 exit."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = [CFGNode(0, "entry", 0),
+                                     CFGNode(1, "exit", 0)]
+
+    @property
+    def entry(self) -> CFGNode:
+        return self.nodes[0]
+
+    @property
+    def exit(self) -> CFGNode:
+        return self.nodes[1]
+
+    def add(self, kind: str, line: int) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, line)
+        self.nodes.append(node)
+        return node
+
+    def link(self, src: CFGNode, dst: CFGNode) -> None:
+        if dst.id not in src.succs:
+            src.succs.append(dst.id)
+
+    def kinds(self) -> dict[str, int]:
+        """Node count per statement kind (testing/metrics aid)."""
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+
+_KIND = {ast.Assign: "assign", ast.SendStmt: "send",
+         ast.ReceiveStmt: "receive", ast.IfStmt: "if",
+         ast.GuardedDo: "do", ast.SkipStmt: "skip"}
+
+
+def build_cfg(body: tuple[ast.Stmt, ...]) -> CFG:
+    """Build the CFG of a role body."""
+    cfg = CFG()
+
+    def chain(stmts: tuple[ast.Stmt, ...],
+              preds: list[CFGNode]) -> list[CFGNode]:
+        """Wire ``stmts`` after ``preds``; returns the new dangling ends."""
+        for stmt in stmts:
+            node = cfg.add(_KIND[type(stmt)], stmt.line)
+            for pred in preds:
+                cfg.link(pred, node)
+            if isinstance(stmt, ast.IfStmt):
+                then_ends = chain(stmt.then_body, [node])
+                if stmt.else_body is not None:
+                    else_ends = chain(stmt.else_body, [node])
+                else:
+                    else_ends = [node]     # fall through the condition
+                preds = then_ends + else_ends
+            elif isinstance(stmt, ast.GuardedDo):
+                # Each arm body loops back to the DO head; the DO itself
+                # falls through when no guard is enabled.
+                for arm in stmt.arms:
+                    arm_stmts = arm.body
+                    if arm.comm is not None:
+                        arm_stmts = (arm.comm,) + arm_stmts
+                    for end in chain(arm_stmts, [node]):
+                        cfg.link(end, node)
+                preds = [node]
+            else:
+                preds = [node]
+        return preds
+
+    ends = chain(body, [cfg.entry])
+    for end in ends:
+        cfg.link(end, cfg.exit)
+    if not body:
+        cfg.link(cfg.entry, cfg.exit)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Guaranteed communication prefixes
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class PrefixOp:
+    """One unconditional communication in an instance's guaranteed prefix.
+
+    ``next_line`` is the source line of the statement that follows this
+    operation in the guaranteed walk (used to report code made unreachable
+    by a guaranteed block), or ``None`` when nothing follows.
+    """
+
+    kind: str                  # "send" | "recv"
+    partner: Instance
+    line: int
+    next_line: int | None = None
+
+
+@dataclasses.dataclass(slots=True)
+class Prefix:
+    """An instance's guaranteed communication prefix.
+
+    ``complete`` is True when the walk reached the end of the body — the
+    instance performs exactly ``ops`` and terminates.  False means the
+    instance reached a dynamic point and may do *anything* afterwards
+    (including further communication), so nothing may be concluded about
+    its behavior beyond ``ops``.
+    """
+
+    instance: Instance
+    ops: list[PrefixOp]
+    complete: bool
+
+
+class _PrefixWalker:
+    def __init__(self, info: ProgramInfo, instance: Instance,
+                 bindings: dict[str, int]):
+        self.info = info
+        self.instance = instance
+        self.bindings = bindings
+        self.ops: list[PrefixOp] = []
+
+    def _note_follower(self, line: int) -> None:
+        if self.ops and self.ops[-1].next_line is None:
+            self.ops[-1].next_line = line
+
+    def walk(self, stmts: tuple[ast.Stmt, ...]) -> bool:
+        """Walk ``stmts``; returns False when a dynamic point cut us off."""
+        for stmt in stmts:
+            self._note_follower(stmt.line)
+            if isinstance(stmt, (ast.Assign, ast.SkipStmt)):
+                continue
+            if isinstance(stmt, (ast.SendStmt, ast.ReceiveStmt)):
+                if not self._comm(stmt):
+                    return False
+                continue
+            if isinstance(stmt, ast.IfStmt):
+                condition = static_eval(stmt.condition, self.info.constants,
+                                        self.bindings)
+                if condition is None:
+                    return False
+                branch = stmt.then_body if condition else stmt.else_body
+                if branch is not None and not self.walk(branch):
+                    return False
+                continue
+            if isinstance(stmt, ast.GuardedDo):
+                return False
+        return True
+
+    def _comm(self, stmt: ast.SendStmt | ast.ReceiveStmt) -> bool:
+        if isinstance(stmt, ast.SendStmt):
+            kind, ref = "send", stmt.target
+        else:
+            kind, ref = "recv", stmt.source
+        index: int | None = None
+        if ref.index is not None:
+            value = static_eval(ref.index, self.info.constants, self.bindings)
+            if isinstance(value, bool) or not isinstance(value, int):
+                return False           # dynamic partner: give up
+            index = value
+        bounds = self.info.family_bounds.get(ref.name)
+        if bounds is not None and index is not None:
+            low, high = bounds
+            if not low <= index <= high:
+                # Absent partner: the engine yields the distinguished
+                # UNFILLED value and execution continues (SCR003 is
+                # reported separately by the graph pass).
+                return True
+        self.ops.append(PrefixOp(kind=kind, partner=(ref.name, index),
+                                 line=stmt.line))
+        return True
+
+
+def guaranteed_prefix(role: ast.RoleDeclNode, instance: Instance,
+                      bindings: dict[str, int], info: ProgramInfo) -> Prefix:
+    """The guaranteed communication prefix of one role instance."""
+    walker = _PrefixWalker(info, instance, bindings)
+    complete = walker.walk(role.body)
+    return Prefix(instance=instance, ops=walker.ops, complete=complete)

@@ -1,0 +1,119 @@
+"""Critical-set and initiation feasibility checks (paper Section II).
+
+A performance begins when *one* of the script's critical role sets is
+consistently filled; roles outside the initiating set may remain unfilled
+(*absent*) for the whole performance.  Two static consequences:
+
+* an alternative critical set that strictly contains another alternative
+  can never be the initiating set — the smaller set fills first as
+  enrollments accumulate, so the larger alternative is dead weight and
+  usually indicates a specification mistake (SCR009);
+* a role that communicates with a *possibly-unfilled* partner (one some
+  alternative does not require) must be prepared for the distinguished
+  ``UNFILLED`` value.  In the script language the idiom is consulting
+  ``partner.terminated`` (Figure 5 captures it in a boolean up front), so
+  a role that communicates with a possibly-unfilled partner and never
+  consults that partner's ``terminated`` status anywhere is flagged
+  (SCR008).
+
+With no explicit ``CRITICAL`` headers the entire cast is critical, so no
+role is possibly unfilled and both checks are vacuous.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.analysis import ProgramInfo
+from .diagnostics import Report
+from .graph import CommSite, static_eval
+
+
+def _expanded_sets(program: ast.ScriptProgram, info: ProgramInfo
+                   ) -> list[tuple[frozenset, int]]:
+    """Critical alternatives expanded to member level, with a source line.
+
+    A bare family name expands to every member; an indexed item to that
+    member; a singleton to its name.  The line is the smallest item line
+    of the alternative (0 when items carry no line).
+    """
+    expanded: list[tuple[frozenset, int]] = []
+    for alternative in program.critical_sets:
+        members: set = set()
+        lines: list[int] = []
+        for item in alternative:
+            if item.line:
+                lines.append(item.line)
+            bounds = info.family_bounds.get(item.name)
+            if bounds is None:
+                members.add(item.name)
+            elif item.index is not None:
+                index = static_eval(item.index, info.constants, {})
+                members.add((item.name, index))
+            else:
+                low, high = bounds
+                members.update((item.name, i)
+                               for i in range(low, high + 1))
+        expanded.append((frozenset(members), min(lines, default=0)))
+    return expanded
+
+
+def possibly_unfilled_roles(program: ast.ScriptProgram,
+                            info: ProgramInfo) -> set[str]:
+    """Role names some critical alternative does not (fully) require.
+
+    A role is possibly unfilled when there exists an alternative whose
+    members include no instance of it: if that alternative initiates the
+    performance, the role may stay absent.  Granularity is the role name
+    (an alternative naming ``manager[1]`` still counts the ``manager``
+    family as required) — conservative in the quiet direction.
+    """
+    if not program.critical_sets:
+        return set()
+    role_names = {role.name for role in program.roles}
+    unfilled: set[str] = set()
+    for members, _line in _expanded_sets(program, info):
+        named = {member if isinstance(member, str) else member[0]
+                 for member in members}
+        unfilled.update(role_names - named)
+    return unfilled
+
+
+def analyze_critical(program: ast.ScriptProgram, info: ProgramInfo,
+                     sites: list[CommSite],
+                     terminated_refs: dict[str, set[str]],
+                     report: Report) -> None:
+    """Emit SCR008/SCR009 findings."""
+    expanded = _expanded_sets(program, info)
+
+    # SCR009: a strict superset of another alternative can never initiate.
+    for i, (members, line) in enumerate(expanded):
+        for j, (other, _other_line) in enumerate(expanded):
+            if i != j and members > other:
+                report.emit(
+                    "SCR009", line, program.name,
+                    f"critical set alternative {i + 1} strictly contains "
+                    f"alternative {j + 1}; the smaller set always fills "
+                    f"first, so this alternative can never initiate a "
+                    f"performance")
+                break
+
+    # SCR008: unguarded communication with a possibly-unfilled partner.
+    unfilled = possibly_unfilled_roles(program, info)
+    if not unfilled:
+        return
+    flagged: set[tuple[str, str]] = set()
+    for site in sites:
+        owner_role = site.owner[0]
+        partner = site.partner_role
+        if partner not in unfilled or partner == owner_role:
+            continue
+        if partner in terminated_refs.get(owner_role, set()):
+            continue
+        if (owner_role, partner) in flagged:
+            continue
+        flagged.add((owner_role, partner))
+        report.emit(
+            "SCR008", site.line, owner_role,
+            f"role {owner_role!r} communicates with {partner!r}, which "
+            f"is not in every critical set and may be unfilled, without "
+            f"ever consulting {partner}.terminated", partner=partner)

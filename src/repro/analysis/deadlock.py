@@ -1,0 +1,189 @@
+"""Synchronous wait-for analysis: guaranteed deadlocks and blocks.
+
+Built on the guaranteed prefixes of :mod:`repro.analysis.cfg`: every
+operation in a prefix *must* be attempted, in order, by its instance, so
+an abstract, synchronous execution of the prefixes is faithful to every
+engine schedule.  The matcher repeatedly commits complementary current
+operations (A's ``send -> B`` against B's ``recv <- A``); commits only
+ever enable more commits and each instance has a single current
+operation, so the fixpoint is confluent — order does not matter.
+
+When no more pairs can commit, instances still holding operations are
+*stuck*.  A stuck instance may still progress if its partner's behavior is
+unknown (the partner's prefix was cut at a dynamic point), or —
+transitively — if its partner may progress; propagating that through the
+wait-for graph leaves a set of instances that are **guaranteed** blocked
+in every run.  Among those, wait-for cycles are reported as rendezvous
+deadlocks (SCR005); chains into a terminated or blocked partner as
+guaranteed blocks (SCR006); and code following a guaranteed block as
+unreachable (SCR007).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.analysis import ProgramInfo
+from .cfg import Prefix, PrefixOp, guaranteed_prefix
+from .diagnostics import Report
+from .graph import Instance, instance_label, role_instances
+
+
+def collect_prefixes(program: ast.ScriptProgram, info: ProgramInfo
+                     ) -> dict[Instance, Prefix]:
+    """The guaranteed prefix of every role instance, declaration order."""
+    prefixes: dict[Instance, Prefix] = {}
+    for role in program.roles:
+        for instance, bindings in role_instances(role, info):
+            prefixes[instance] = guaranteed_prefix(role, instance,
+                                                   bindings, info)
+    return prefixes
+
+
+def _complementary(a: PrefixOp, a_inst: Instance,
+                   b: PrefixOp, b_inst: Instance) -> bool:
+    """Do ``a`` (of ``a_inst``) and ``b`` (of ``b_inst``) rendezvous?"""
+    if a.kind == b.kind:
+        return False
+    return a.partner == b_inst and b.partner == a_inst
+
+
+def _match_fixpoint(prefixes: dict[Instance, Prefix]) -> dict[Instance, int]:
+    """Commit guaranteed rendezvous until quiescence; returns final pcs."""
+    pcs = {instance: 0 for instance in prefixes}
+
+    def current(instance: Instance) -> PrefixOp | None:
+        prefix = prefixes[instance]
+        pc = pcs[instance]
+        return prefix.ops[pc] if pc < len(prefix.ops) else None
+
+    changed = True
+    while changed:
+        changed = False
+        for instance in prefixes:
+            op = current(instance)
+            if op is None:
+                continue
+            partner = op.partner
+            if partner not in prefixes:
+                continue
+            partner_op = current(partner)
+            if partner_op is None:
+                continue
+            if _complementary(op, instance, partner_op, partner):
+                pcs[instance] += 1
+                pcs[partner] += 1
+                changed = True
+    return pcs
+
+
+def analyze_deadlocks(program: ast.ScriptProgram, info: ProgramInfo,
+                      report: Report) -> None:
+    """Emit SCR005/SCR006/SCR007 findings for guaranteed blocks."""
+    prefixes = collect_prefixes(program, info)
+    pcs = _match_fixpoint(prefixes)
+
+    status: dict[Instance, str] = {}
+    for instance, prefix in prefixes.items():
+        if pcs[instance] >= len(prefix.ops):
+            status[instance] = "done" if prefix.complete else "unknown"
+        else:
+            status[instance] = "stuck"
+
+    stuck = [i for i in prefixes if status[i] == "stuck"]
+
+    def partner_of(instance: Instance) -> Instance:
+        return prefixes[instance].ops[pcs[instance]].partner
+
+    # An instance whose partner's behavior is unknown might progress; so
+    # might anything waiting (transitively) on such an instance.
+    may_progress: set[Instance] = set()
+    changed = True
+    while changed:
+        changed = False
+        for instance in stuck:
+            if instance in may_progress:
+                continue
+            partner = partner_of(instance)
+            if partner not in prefixes \
+                    or status[partner] == "unknown" \
+                    or partner in may_progress:
+                may_progress.add(instance)
+                changed = True
+
+    blocked = [i for i in stuck if i not in may_progress]
+    blocked_set = set(blocked)
+
+    # Wait-for cycles among the guaranteed-blocked instances.  Each
+    # blocked instance has exactly one out-edge (its current partner), so
+    # a colored walk finds every cycle exactly once.
+    on_cycle: set[Instance] = set()
+    cycles: list[list[Instance]] = []
+    visited: set[Instance] = set()
+    for start in blocked:
+        if start in visited:
+            continue
+        path: list[Instance] = []
+        seen_here: dict[Instance, int] = {}
+        node = start
+        while node in blocked_set and node not in visited \
+                and node not in seen_here:
+            seen_here[node] = len(path)
+            path.append(node)
+            node = partner_of(node)
+        if node in seen_here:       # closed a new cycle
+            cycle = path[seen_here[node]:]
+            cycles.append(cycle)
+            on_cycle.update(cycle)
+        visited.update(path)
+
+    verbs = {"send": "waits to send to", "recv": "waits to receive from"}
+    complements = {"send": "receive", "recv": "send"}
+
+    for cycle in cycles:
+        # Canonical rotation: start at the lexicographically least label.
+        labels = [instance_label(i) for i in cycle]
+        pivot = labels.index(min(labels))
+        cycle = cycle[pivot:] + cycle[:pivot]
+        parts = []
+        for member in cycle:
+            op = prefixes[member].ops[pcs[member]]
+            parts.append(f"{instance_label(member)} "
+                         f"{verbs[op.kind]} {instance_label(op.partner)} "
+                         f"(line {op.line})")
+        head = cycle[0]
+        head_op = prefixes[head].ops[pcs[head]]
+        if len(cycle) == 1:
+            message = (f"guaranteed block: {parts[0]} — an instance can "
+                       f"never rendezvous with itself")
+            report.emit("SCR006", head_op.line, instance_label(head),
+                        message, partner=instance_label(head_op.partner))
+        else:
+            message = ("guaranteed rendezvous deadlock: "
+                       + "; ".join(parts))
+            report.emit("SCR005", head_op.line, instance_label(head),
+                        message, partner=instance_label(head_op.partner))
+
+    for instance in blocked:
+        if instance in on_cycle:
+            continue
+        op = prefixes[instance].ops[pcs[instance]]
+        partner = op.partner
+        me = instance_label(instance)
+        other = instance_label(partner)
+        if status.get(partner) == "done":
+            why = (f"{other} terminates without a matching "
+                   f"{complements[op.kind]}")
+        else:
+            why = f"{other} is itself permanently blocked"
+        report.emit("SCR006", op.line, me,
+                    f"guaranteed block: {me} {verbs[op.kind]} {other} "
+                    f"at line {op.line}, but {why}", partner=other)
+
+    for instance in blocked:
+        op = prefixes[instance].ops[pcs[instance]]
+        if op.next_line is not None:
+            report.emit(
+                "SCR007", op.next_line, instance_label(instance),
+                f"unreachable: {instance_label(instance)} is permanently "
+                f"blocked at line {op.line}, so this statement can never "
+                f"execute")

@@ -1,0 +1,39 @@
+"""Analyzer counters in the standard metrics registry.
+
+Feeds analysis results through :class:`~repro.obs.metrics.MetricsRegistry`
+so ``python -m repro stats analysis`` summarizes an analysis run with the
+same renderer (and JSON shape) as the runtime scenarios:
+
+* ``analysis_files_total`` — programs analyzed;
+* ``analysis_files_clean`` — programs with zero findings;
+* ``analysis_findings_total{CODE}`` — findings per diagnostic code;
+* ``analysis_errors_total`` / ``analysis_warnings_total`` — by severity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..obs.metrics import MetricsRegistry
+from .diagnostics import Report
+
+
+def record_analysis(reports: Iterable[Report],
+                    registry: MetricsRegistry | None = None
+                    ) -> MetricsRegistry:
+    """Populate ``registry`` (a fresh one by default) from ``reports``."""
+    registry = registry if registry is not None else MetricsRegistry()
+    files = registry.counter("analysis_files_total")
+    clean = registry.counter("analysis_files_clean")
+    errors = registry.counter("analysis_errors_total")
+    warnings = registry.counter("analysis_warnings_total")
+    for report in reports:
+        files.inc()
+        if report.clean:
+            clean.inc()
+        errors.inc(report.error_count)
+        warnings.inc(report.warning_count)
+        for finding in report.findings:
+            registry.counter("analysis_findings_total",
+                             label=finding.code).inc()
+    return registry

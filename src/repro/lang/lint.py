@@ -1,17 +1,14 @@
-"""Static communication lint for script programs.
+"""Static communication lint for script programs (legacy surface).
 
 Section V: "we believe scripts will simplify the specification of
 communication subsystems and make the verification of such systems more
-practical."  This module provides the first practical step: a static check
-of a script's *communication graph*.  For every ``SEND x TO r`` in role
-``p`` there should exist a ``RECEIVE ... FROM p`` somewhere in role ``r``
-(and vice versa); an unmatched communication is a send or receive that can
-never rendezvous — in the synchronous model, a guaranteed block.
-
-The check is intentionally conservative: indices are dynamic, so matching
-is by role/family *name*; directions under guards are treated as possible.
-Results are warnings, not errors — a role may legitimately guard an
-unmatched communication with ``r.terminated``.
+practical."  This module was the first practical step — name-level
+send/receive matching — and now survives as a thin compatibility wrapper
+over the full analyzer in :mod:`repro.analysis`, which unrolls role
+families, resolves indices, and detects guaranteed deadlocks.  Use
+``python -m repro analyze`` (or :func:`repro.analysis.analyze_source`)
+for the complete diagnostics; :func:`lint_communications` keeps the old
+warning-string contract for existing callers.
 """
 
 from __future__ import annotations
@@ -72,23 +69,13 @@ def communication_edges(program: ast.ScriptProgram
 def lint_communications(program: ast.ScriptProgram) -> list[str]:
     """Warnings for communications that can never find a partner.
 
+    .. deprecated::
+        Thin compatibility wrapper over the index-aware analyzer in
+        :mod:`repro.analysis`; prefer ``repro.analysis.analyze_program``
+        (or the ``repro analyze`` CLI) for structured diagnostics.
+
     Returns human-readable warnings; an empty list means every send has a
-    textually matching receive and vice versa.
+    possible matching receive and vice versa.
     """
-    sends, receives = communication_edges(program)
-    send_pairs = {(e.sender, e.receiver) for e in sends}
-    receive_pairs = {(e.sender, e.receiver) for e in receives}
-    warnings: list[str] = []
-    for edge in sorted(sends, key=lambda e: (e.line, e.sender)):
-        if (edge.sender, edge.receiver) not in receive_pairs:
-            warnings.append(
-                f"line {edge.line}: role {edge.sender!r} sends to "
-                f"{edge.receiver!r}, but {edge.receiver!r} never receives "
-                f"from {edge.sender!r} (send can never rendezvous)")
-    for edge in sorted(receives, key=lambda e: (e.line, e.receiver)):
-        if (edge.sender, edge.receiver) not in send_pairs:
-            warnings.append(
-                f"line {edge.line}: role {edge.receiver!r} receives from "
-                f"{edge.sender!r}, but {edge.sender!r} never sends to "
-                f"{edge.receiver!r} (receive can never rendezvous)")
-    return warnings
+    from ..analysis import legacy_lint_warnings  # lazy: avoids a cycle
+    return legacy_lint_warnings(program)

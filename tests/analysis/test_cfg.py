@@ -1,0 +1,250 @@
+"""Control-flow graphs and guaranteed communication prefixes."""
+
+from repro.analysis import build_cfg, guaranteed_prefix
+from repro.lang import analyze, parse_script
+from repro.lang.figures import FIGURE4_PIPELINE_BROADCAST
+
+
+def role_named(program, name):
+    return next(role for role in program.roles if role.name == name)
+
+
+def compiled(source):
+    program = parse_script(source)
+    return program, analyze(program)
+
+
+def test_linear_body_chains_entry_to_exit():
+    program, _ = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO b;
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a;
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    cfg = build_cfg(role_named(program, "a").body)
+    assert cfg.kinds() == {"entry": 1, "exit": 1, "send": 2}
+    # entry -> send -> send -> exit
+    assert cfg.entry.succs == [2]
+    assert cfg.nodes[2].succs == [3]
+    assert cfg.nodes[3].succs == [cfg.exit.id]
+
+
+def test_if_without_else_falls_through_condition():
+    program, _ = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item; flag : boolean);
+      BEGIN
+        IF flag THEN
+          SEND x TO b;
+        SKIP
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        IF a.terminated THEN
+          SKIP
+        ELSE
+          RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    cfg = build_cfg(role_named(program, "a").body)
+    kinds = {node.id: node.kind for node in cfg.nodes}
+    if_id = next(i for i, k in kinds.items() if k == "if")
+    skip_id = next(i for i, k in kinds.items() if k == "skip")
+    send_id = next(i for i, k in kinds.items() if k == "send")
+    # Both the taken branch and the condition itself reach the SKIP.
+    assert skip_id in cfg.nodes[send_id].succs
+    assert skip_id in cfg.nodes[if_id].succs
+
+
+def test_nested_if_bodies_branch_and_rejoin():
+    program, _ = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item; p : boolean; q : boolean);
+      BEGIN
+        IF p THEN
+          IF q THEN
+            SEND x TO b
+          ELSE
+            SKIP
+        ELSE
+          SKIP;
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a;
+        IF a.terminated THEN
+          SKIP
+        ELSE
+          RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    cfg = build_cfg(role_named(program, "a").body)
+    assert cfg.kinds() == {"entry": 1, "exit": 1, "if": 2,
+                           "send": 2, "skip": 2}
+    final_send = cfg.nodes[-1]
+    assert final_send.kind == "send"
+    # All three paths (inner-then, inner-else, outer-else) rejoin on it.
+    joined = [n for n in cfg.nodes if final_send.id in n.succs]
+    assert len(joined) == 3
+
+
+def test_guarded_do_arm_loops_back_to_head():
+    program, _ = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a ();
+      VAR going : boolean;
+        msg : item;
+      BEGIN
+        going := true;
+        DO
+          going; RECEIVE msg FROM b ->
+            IF msg = 'stop' THEN
+              going := false
+        OD
+      END a;
+      ROLE b (x : item);
+      BEGIN
+        SEND x TO a;
+        SEND 'stop' TO a
+      END b;
+    END s;
+    """)
+    cfg = build_cfg(role_named(program, "a").body)
+    do_node = next(node for node in cfg.nodes if node.kind == "do")
+    receive = next(node for node in cfg.nodes if node.kind == "receive")
+    if_node = next(node for node in cfg.nodes if node.kind == "if")
+    assert receive.id in do_node.succs          # arm comm hangs off the head
+    assert do_node.id in if_node.succs          # arm body loops back
+    assert cfg.exit.id in do_node.succs         # DO falls through when done
+
+
+def test_replicated_do_arms_present_once_per_arm():
+    program, _ = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE hub ();
+      VAR done : ARRAY [1..3] OF boolean;
+      BEGIN
+        done := false;
+        DO [i = 1..3]
+          NOT done[i]; SEND 'go' TO spoke[i] -> done[i] := true
+        OD
+      END hub;
+      ROLE spoke [i:1..3] (VAR m : item);
+      BEGIN
+        RECEIVE m FROM hub
+      END spoke;
+    END s;
+    """)
+    cfg = build_cfg(role_named(program, "hub").body)
+    # The CFG is structural: one send node for the textual arm (the
+    # replicator multiplies instances, not syntax).
+    assert cfg.kinds() == {"entry": 1, "exit": 1, "assign": 2,
+                           "do": 1, "send": 1}
+
+
+def test_fig4_prefix_folds_per_instance():
+    program = parse_script(FIGURE4_PIPELINE_BROADCAST)
+    info = analyze(program)
+    recipient = role_named(program, "recipient")
+
+    first = guaranteed_prefix(recipient, ("recipient", 1), {"i": 1}, info)
+    assert first.complete
+    assert [(op.kind, op.partner) for op in first.ops] == [
+        ("recv", ("sender", None)), ("send", ("recipient", 2))]
+
+    last = guaranteed_prefix(recipient, ("recipient", 5), {"i": 5}, info)
+    assert last.complete
+    assert [(op.kind, op.partner) for op in last.ops] == [
+        ("recv", ("recipient", 4))]
+
+
+def test_prefix_cut_at_dynamic_if_and_do():
+    program, info = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item; flag : boolean);
+      BEGIN
+        SEND x TO b;
+        IF flag THEN
+          SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      VAR a_done : boolean;
+      BEGIN
+        RECEIVE y FROM a;
+        a_done := false;
+        DO
+          NOT a_done; RECEIVE y FROM a -> a_done := true
+        OD
+      END b;
+    END s;
+    """)
+    a = guaranteed_prefix(role_named(program, "a"), ("a", None), {}, info)
+    assert not a.complete                 # cut at the dynamic IF
+    assert [(op.kind, op.partner) for op in a.ops] == [("send", ("b", None))]
+    b = guaranteed_prefix(role_named(program, "b"), ("b", None), {}, info)
+    assert not b.complete                 # cut at the DO
+    assert len(b.ops) == 1
+
+
+def test_prefix_skips_absent_partner_like_the_engine():
+    program, info = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO w[9];
+        SEND x TO w[1]
+      END a;
+      ROLE w [i:1..3] (VAR y : item);
+      BEGIN
+        IF i = 1 THEN
+          RECEIVE y FROM a
+      END w;
+    END s;
+    """)
+    prefix = guaranteed_prefix(role_named(program, "a"), ("a", None), {},
+                               info)
+    # The out-of-bounds send yields UNFILLED and continues; only the
+    # in-bounds send is a guaranteed operation.
+    assert prefix.complete
+    assert [(op.kind, op.partner) for op in prefix.ops] == [
+        ("send", ("w", 1))]
+
+
+def test_prefix_records_follower_lines():
+    program, info = compiled("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO b;
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a;
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    prefix = guaranteed_prefix(role_named(program, "a"), ("a", None), {},
+                               info)
+    assert prefix.ops[0].next_line == prefix.ops[1].line
+    assert prefix.ops[1].next_line is None

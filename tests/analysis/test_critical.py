@@ -1,0 +1,141 @@
+"""Critical-set feasibility: shadowed alternatives, unfilled partners."""
+
+from repro.analysis import analyze_source
+from repro.analysis.critical import possibly_unfilled_roles
+from repro.lang import analyze, parse_script
+from repro.lang.figures import FIGURE5_DATABASE
+
+
+def codes(report):
+    return [finding.code for finding in report.findings]
+
+
+def test_fig5_critical_sets_are_clean():
+    report = analyze_source(FIGURE5_DATABASE, label="fig5")
+    assert report.clean
+
+
+def test_possibly_unfilled_roles_fig5():
+    program = parse_script(FIGURE5_DATABASE)
+    unfilled = possibly_unfilled_roles(program, analyze(program))
+    # CRITICAL: manager, reader / CRITICAL: manager, writer — each of
+    # reader and writer is dispensable under the other alternative.
+    assert unfilled == {"reader", "writer"}
+
+
+def test_no_critical_headers_means_nothing_unfilled():
+    program = parse_script("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    assert possibly_unfilled_roles(program, analyze(program)) == set()
+
+
+def test_superset_alternative_is_flagged():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      CRITICAL: a;
+      CRITICAL: a, b;
+      ROLE a (x : item);
+      VAR b_done : boolean;
+      BEGIN
+        b_done := b.terminated;
+        IF NOT b_done THEN
+          SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      VAR a_done : boolean;
+      BEGIN
+        a_done := a.terminated;
+        IF NOT a_done THEN
+          RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    shadows = [f for f in report.findings if f.code == "SCR009"]
+    assert len(shadows) == 1
+    assert "alternative 2 strictly contains alternative 1" \
+        in shadows[0].message
+
+
+def test_unfilled_partner_without_terminated_guard_is_flagged():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      CRITICAL: a;
+      CRITICAL: a, b;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    flagged = [f for f in report.findings if f.code == "SCR008"]
+    assert len(flagged) == 1
+    assert flagged[0].role == "a"
+    assert flagged[0].partner == "b"
+    assert "b.terminated" in flagged[0].message
+    # b itself communicates with a, but a is in every alternative.
+    assert all(f.role != "b" for f in flagged)
+
+
+def test_terminated_consultation_suppresses_scr008():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      CRITICAL: a;
+      CRITICAL: a, b;
+      ROLE a (x : item);
+      VAR b_gone : boolean;
+      BEGIN
+        b_gone := b.terminated;
+        IF NOT b_gone THEN
+          SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    assert [f.code for f in report.findings if f.code == "SCR008"] == []
+
+
+def test_family_membership_expands_in_critical_sets():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      CRITICAL: m;
+      CRITICAL: m, w[1];
+      ROLE m (x : item);
+      VAR w_done : boolean;
+      BEGIN
+        w_done := w[1].terminated;
+        IF NOT w_done THEN
+          SEND x TO w[1]
+      END m;
+      ROLE w [i:1..2] (VAR y : item);
+      VAR m_done : boolean;
+      BEGIN
+        m_done := m.terminated;
+        IF NOT m_done THEN
+          RECEIVE y FROM m
+      END w;
+    END s;
+    """)
+    # {m, w[1]} strictly contains {m}: flagged as shadowed.
+    assert "SCR009" in codes(report)

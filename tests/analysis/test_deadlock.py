@@ -1,0 +1,171 @@
+"""Synchronous wait-for analysis: guaranteed deadlocks and blocks."""
+
+from repro.analysis import analyze_source, collect_prefixes
+from repro.analysis.deadlock import _match_fixpoint
+from repro.lang import analyze, parse_script
+
+ORDER_DEADLOCK = """SCRIPT order_deadlock;
+  INITIATION: IMMEDIATE;
+  TERMINATION: IMMEDIATE;
+  ROLE left (VAR a : item);
+  BEGIN
+    SEND a TO right;
+    RECEIVE a FROM right
+  END left;
+  ROLE right (VAR b : item);
+  BEGIN
+    SEND b TO left;
+    RECEIVE b FROM left
+  END right;
+END order_deadlock;
+"""
+
+
+def codes(report):
+    return [finding.code for finding in report.findings]
+
+
+def test_matcher_commits_complementary_pairs():
+    program = parse_script("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item);
+      BEGIN
+        SEND x TO b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        RECEIVE y FROM a
+      END b;
+    END s;
+    """)
+    prefixes = collect_prefixes(program, analyze(program))
+    pcs = _match_fixpoint(prefixes)
+    assert pcs == {("a", None): 1, ("b", None): 1}
+
+
+def test_order_deadlock_reports_cycle_and_unreachable():
+    report = analyze_source(ORDER_DEADLOCK)
+    assert codes(report) == ["SCR005", "SCR007", "SCR007"]
+    cycle = report.findings[0]
+    assert cycle.severity == "error"
+    assert "left waits to send to right (line 6)" in cycle.message
+    assert "right waits to send to left (line 11)" in cycle.message
+    # The cycle is reported once, anchored at the least label.
+    assert cycle.role == "left"
+
+
+def test_partner_terminating_early_is_a_guaranteed_block():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE talker (m : item);
+      BEGIN
+        SEND m TO listener;
+        SEND m TO listener
+      END talker;
+      ROLE listener (VAR m : item);
+      BEGIN
+        RECEIVE m FROM talker
+      END listener;
+    END s;
+    """)
+    assert codes(report) == ["SCR006"]
+    finding = report.findings[0]
+    assert "listener terminates without a matching receive" in finding.message
+
+
+def test_chain_into_blocked_partner_is_blocked_too():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (VAR x : item);
+      BEGIN
+        SEND x TO b;
+        RECEIVE x FROM b
+      END a;
+      ROLE b (VAR y : item);
+      BEGIN
+        SEND y TO a;
+        RECEIVE y FROM a
+      END b;
+      ROLE c (VAR z : item);
+      BEGIN
+        RECEIVE z FROM a
+      END c;
+    END s;
+    """)
+    # a and b deadlock against each other; c waits on the blocked a.
+    assert "SCR005" in codes(report)
+    blocked = [f for f in report.findings if f.code == "SCR006"]
+    assert len(blocked) == 1
+    assert blocked[0].role == "c"
+    assert "a is itself permanently blocked" in blocked[0].message
+
+
+def test_dynamic_partner_suppresses_findings():
+    """A DO-loop partner has unknown behavior: no guaranteed verdict."""
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE client (r : item; VAR v : item);
+      BEGIN
+        SEND r TO server;
+        RECEIVE v FROM server;
+        SEND 'done' TO server
+      END client;
+      ROLE server (ack : item);
+      VAR fin : boolean;
+        m : item;
+      BEGIN
+        fin := false;
+        DO
+          NOT fin; RECEIVE m FROM client ->
+            IF m = 'done' THEN
+              fin := true
+            ELSE
+              SEND ack TO client
+        OD
+      END server;
+    END s;
+    """)
+    assert report.clean
+
+
+def test_self_communication_is_an_error():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE w [i:1..2] (x : item; VAR y : item);
+      BEGIN
+        SEND x TO w[i]
+      END w;
+    END s;
+    """)
+    # Both the graph pass (SCR004) and the wait-for pass (SCR006
+    # self-cycle) agree that this can never commit.
+    assert set(codes(report)) == {"SCR004", "SCR006"}
+    self_cycles = [f for f in report.findings if f.code == "SCR006"]
+    assert len(self_cycles) == 2
+    assert "never rendezvous with itself" in self_cycles[0].message
+
+
+def test_unreachable_reported_at_following_statement():
+    report = analyze_source("""SCRIPT s;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE a (x : item; VAR v : item);
+      BEGIN
+        RECEIVE v FROM b;
+        SEND x TO b;
+        SEND x TO b
+      END a;
+      ROLE b ();
+      BEGIN
+        SKIP
+      END b;
+    END s;
+    """)
+    unreachable = [f for f in report.findings if f.code == "SCR007"]
+    assert len(unreachable) == 1
+    assert unreachable[0].line == report.findings[0].line + 1

@@ -1,0 +1,120 @@
+"""Index-aware communication graph: unrolling, folding, target checks."""
+
+from repro.analysis import (collect_sites, instance_label, role_instances,
+                            static_eval, terminated_partners)
+from repro.analysis.graph import is_self_targeting, out_of_bounds
+from repro.lang import analyze, parse_script
+from repro.lang.ast_nodes import Binary, Name, Num
+from repro.lang.figures import (FIGURE4_PIPELINE_BROADCAST, FIGURE5_DATABASE)
+
+
+def program_info(source):
+    program = parse_script(source)
+    return program, analyze(program)
+
+
+def test_static_eval_constants_and_bindings():
+    expr = Binary(op="+", left=Name(ident="i", line=1),
+                  right=Name(ident="n", line=1), line=1)
+    assert static_eval(expr, {"n": 4}, {"i": 2}) == 6
+    assert static_eval(expr, {}, {"i": 2}) is None
+
+
+def test_static_eval_comparisons_fold_to_bools():
+    expr = Binary(op="<", left=Name(ident="i", line=1),
+                  right=Num(value=5, line=1), line=1)
+    assert static_eval(expr, {}, {"i": 3}) is True
+    assert static_eval(expr, {}, {"i": 7}) is False
+
+
+def test_static_eval_division_by_zero_is_dynamic():
+    expr = Binary(op="/", left=Num(value=4, line=1),
+                  right=Num(value=0, line=1), line=1)
+    assert static_eval(expr, {}, {}) is None
+
+
+def test_role_instances_unrolls_families():
+    program, info = program_info(FIGURE4_PIPELINE_BROADCAST)
+    sender, recipient = program.roles
+    assert role_instances(sender, info) == [(("sender", None), {})]
+    unrolled = role_instances(recipient, info)
+    assert [instance for instance, _ in unrolled] == [
+        ("recipient", i) for i in range(1, 6)]
+    assert unrolled[2][1] == {"i": 3}
+
+
+def test_instance_label():
+    assert instance_label(("sender", None)) == "sender"
+    assert instance_label(("worker", 2)) == "worker[2]"
+
+
+def test_fig4_sites_fold_per_instance():
+    """``IF i = 1``/``IF i < 5`` resolve per recipient instance."""
+    program, info = program_info(FIGURE4_PIPELINE_BROADCAST)
+    sites = collect_sites(program, info)
+    by_owner = {}
+    for site in sites:
+        by_owner.setdefault(site.owner, []).append(site)
+    # recipient[1]: receives from sender, sends to recipient[2].
+    first = by_owner[("recipient", 1)]
+    assert [(s.kind, s.partner_role, s.partner_index) for s in first] == [
+        ("recv", "sender", None), ("send", "recipient", 2)]
+    # recipient[5]: receives from recipient[4] only (no forward send).
+    last = by_owner[("recipient", 5)]
+    assert [(s.kind, s.partner_role, s.partner_index) for s in last] == [
+        ("recv", "recipient", 4)]
+    # Folded branches are unconditional for the instance.
+    assert not any(site.guarded for site in first + last)
+
+
+def test_replicator_do_arms_unroll_sites():
+    source = """SCRIPT rep;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE hub ();
+      VAR done : ARRAY [1..3] OF boolean;
+      BEGIN
+        done := false;
+        DO [i = 1..3]
+          NOT done[i]; SEND 'ping' TO spoke[i] -> done[i] := true
+        OD
+      END hub;
+      ROLE spoke [i:1..3] (VAR msg : item);
+      BEGIN
+        RECEIVE msg FROM hub
+      END spoke;
+    END rep;
+    """
+    program, info = program_info(source)
+    hub_sites = [s for s in collect_sites(program, info)
+                 if s.owner == ("hub", None)]
+    assert [(s.partner_role, s.partner_index) for s in hub_sites] == [
+        ("spoke", 1), ("spoke", 2), ("spoke", 3)]
+    assert all(site.guarded and site.resolved for site in hub_sites)
+
+
+def test_out_of_bounds_and_self_targeting():
+    source = """SCRIPT edge;
+      INITIATION: IMMEDIATE;
+      TERMINATION: IMMEDIATE;
+      ROLE node [i:1..3] (x : item; VAR y : item);
+      BEGIN
+        SEND x TO node[4];
+        SEND x TO node[i]
+      END node;
+    END edge;
+    """
+    program, info = program_info(source)
+    sites = collect_sites(program, info)
+    oob = [s for s in sites if out_of_bounds(s, info)]
+    assert {s.owner for s in oob} == {("node", 1), ("node", 2), ("node", 3)}
+    selfies = [s for s in sites if is_self_targeting(s)]
+    assert {(s.owner, s.partner_index) for s in selfies} == {
+        (("node", 1), 1), (("node", 2), 2), (("node", 3), 3)}
+
+
+def test_terminated_partners_sees_fig5_booleans():
+    program, _info = program_info(FIGURE5_DATABASE)
+    refs = terminated_partners(program)
+    assert refs["manager"] == {"reader", "writer"}
+    assert refs["reader"] == set()
