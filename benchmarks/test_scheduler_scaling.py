@@ -173,6 +173,40 @@ def measure(shape, n, board_name):
 # The sweep
 # ---------------------------------------------------------------------------
 
+#: Regression gate: with BENCH_GATE set (CI does), a freshly measured
+#: indexed cell slower than this fraction of the committed baseline fails
+#: the run.  25% headroom absorbs runner noise while still catching real
+#: regressions; the gate is opt-in because the committed JSON was recorded
+#: on one specific machine and absolute numbers do not travel.
+GATE_RATIO = 0.75
+
+
+def _baseline_gate(report):
+    """Compare fresh indexed ops/sec against the committed baseline.
+
+    Returns a list of human-readable regression strings (empty = pass).
+    Only cells present in both sweeps are compared, so a resized
+    BENCH_SCHEDULER_SIZES run gates on the overlap.
+    """
+    if not OUTPUT.exists():
+        return []
+    baseline = json.loads(OUTPUT.read_text())
+    regressions = []
+    for shape, cells in report["shapes"].items():
+        old_cells = baseline.get("shapes", {}).get(shape, {})
+        for n, cell in cells.items():
+            old = old_cells.get(n, {}).get("indexed", {}).get("ops_per_sec")
+            if not old:
+                continue
+            new = cell["indexed"]["ops_per_sec"]
+            if new < GATE_RATIO * old:
+                regressions.append(
+                    f"{shape} N={n}: {new} ops/s is "
+                    f"{new / old:.0%} of the recorded {old} ops/s "
+                    f"(floor {GATE_RATIO:.0%})")
+    return regressions
+
+
 def test_scaling_sweep(capsys):
     report = {"generated_by": "benchmarks/test_scheduler_scaling.py",
               "unit": "ops_per_sec (committed rendezvous per wall second)",
@@ -193,6 +227,9 @@ def test_scaling_sweep(capsys):
                 / cell["oracle"]["ops_per_sec"], 2)
             cells[str(n)] = cell
         report["shapes"][shape] = cells
+    # Gate BEFORE overwriting: the committed JSON is the baseline.
+    regressions = _baseline_gate(report) if os.environ.get("BENCH_GATE") \
+        else []
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
 
     with capsys.disabled():
@@ -211,6 +248,9 @@ def test_scaling_sweep(capsys):
     for shape, cells in report["shapes"].items():
         for n, cell in cells.items():
             assert cell["speedup"] > 0.5, (shape, n, cell)
+    assert not regressions, \
+        "ops/sec regression vs committed baseline:\n  " \
+        + "\n  ".join(regressions)
 
 
 @pytest.mark.parametrize("shape", sorted(SHAPES))

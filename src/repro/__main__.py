@@ -17,7 +17,12 @@ Commands:
 * ``demo election``      — run a ring leader election;
 * ``chaos <script>``     — soak a script under seeded fault injection
   (``--recover`` switches to the recovery soak: crashed processes are
-  restarted with backoff and aborted performances retried);
+  restarted with backoff and aborted performances retried; ``--kill9``
+  SIGKILLs a journaled subprocess mid-run and — with ``--resume`` —
+  proves the resumed run commits the identical rendezvous sequence);
+* ``replay <journal>``   — resume a durable performance journal:
+  deterministically re-run its recorded scenario, validate every frame,
+  and continue past the crash point;
 * ``trace <scenario>``   — run an instrumented scenario and export its
   span tree as Chrome trace-event JSON (plus optional JSONL);
 * ``stats <scenario>``   — run a scenario and print its metrics summary
@@ -229,13 +234,20 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Soak a script under deterministic fault injection."""
+    if args.kill9:
+        return _chaos_kill9(args)
     if args.recover:
         from .recovery import recover_soak, verify_recover_determinism
         if args.script != "broadcast":
             print("chaos --recover supports only the broadcast script",
                   file=sys.stderr)
             return 2
-        report = recover_soak(runs=args.runs, seed=args.seed)
+        options = {}
+        if args.max_restarts is not None:
+            # A forced (sub-covering) cap makes quarantine reachable;
+            # report it instead of crashing mid-soak.
+            options.update(max_restarts=args.max_restarts, strict=False)
+        report = recover_soak(runs=args.runs, seed=args.seed, **options)
         for line in report.lines():
             print(line)
         if args.trace_out:
@@ -245,11 +257,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  trace         wrote base seed {args.seed} to "
                   f"{args.trace_out}")
         if args.verify:
-            same = verify_recover_determinism(seed=args.seed)
+            same = verify_recover_determinism(seed=args.seed, **options)
             print(f"  determinism   seed {args.seed} replayed "
                   f"{'identically' if same else 'DIFFERENTLY'}")
             if not same:
                 return 1
+        if report.quarantined:
+            # Quarantine leaves a process permanently down: that is a
+            # recovery *failure*, and the soak must not exit clean.
+            print(f"  FAILED        {report.quarantined} quarantined "
+                  f"name(s) never recovered", file=sys.stderr)
+            return 1
         return 0
     from .faults import SCRIPTS, soak, verify_determinism
     if args.script not in SCRIPTS:
@@ -269,6 +287,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if not same:
             return 1
     return 0
+
+
+def _chaos_kill9(args: argparse.Namespace) -> int:
+    """``chaos --kill9``: SIGKILL a journaled subprocess, then resume."""
+    import tempfile
+
+    from .errors import PersistError, ResumeMismatch
+    from .persist import kill9_resume
+    if not args.resume:
+        print("chaos --kill9 requires --resume (the kill alone proves "
+              "nothing; resuming the journal is the point)",
+              file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="repro-kill9-") as tmp:
+        work_dir = args.journal or tmp
+        try:
+            report = kill9_resume(args.script, args.seed, work_dir,
+                                  torn=args.torn)
+        except (PersistError, ResumeMismatch) as error:
+            print(f"kill9: {error}", file=sys.stderr)
+            return 1
+        for line in report.lines():
+            print(line)
+        return 0 if report.ok else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Resume a durable journal: validate its frames, then continue."""
+    from .errors import PersistError, ResumeMismatch
+    try:
+        from .persist import resume
+        report = resume(args.journal)
+    except (PersistError, ResumeMismatch) as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 2
+    for line in report.lines():
+        print(line)
+    return 0
+
+
+def cmd_kill9_child(args: argparse.Namespace) -> int:
+    """Hidden harness verb: run journaled, then SIGKILL ourselves.
+
+    Only ever invoked by :func:`repro.persist.chaos.kill9_resume`; exits
+    by SIGKILL under normal operation, or with the sentinel code when the
+    run finished before the kill point.
+    """
+    import json
+
+    from .persist import run_kill9_child
+    options = json.loads(args.options) if args.options else None
+    return run_kill9_child(args.script, args.seed, args.journal,
+                           args.kill_after, options=options)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -394,7 +468,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verify", action="store_true",
                        help="also replay the base seed twice and compare "
                             "traces")
+    chaos.add_argument("--max-restarts", type=int, default=None,
+                       help="with --recover: force the restart intensity "
+                            "cap (a cap below the crash plan's coverage "
+                            "deterministically exercises quarantine, "
+                            "which exits nonzero)")
+    chaos.add_argument("--kill9", action="store_true",
+                       help="SIGKILL a journaled subprocess run of the "
+                            "base seed mid-performance (use with "
+                            "--resume)")
+    chaos.add_argument("--resume", action="store_true",
+                       help="with --kill9: resume the crashed journal "
+                            "and verify the committed-rendezvous "
+                            "sequence matches an uninterrupted run")
+    chaos.add_argument("--torn", action="store_true",
+                       help="with --kill9: additionally tear the "
+                            "journal's final frame before resuming")
+    chaos.add_argument("--journal", default=None,
+                       help="with --kill9: directory to keep the oracle "
+                            "and crash journals in (default: a temp dir)")
     chaos.set_defaults(handler=cmd_chaos)
+
+    replay = sub.add_parser("replay", help="resume a durable performance "
+                                           "journal and validate it")
+    replay.add_argument("journal", help="path to a .jrnl file written by "
+                                        "a journaled chaos run")
+    replay.set_defaults(handler=cmd_replay)
+
+    # Hidden: the kill -9 harness's child half (dies by SIGKILL).
+    child = sub.add_parser("_kill9-child")
+    child.add_argument("script", choices=["broadcast", "lock", "recover"])
+    child.add_argument("--seed", type=int, required=True)
+    child.add_argument("--journal", required=True)
+    child.add_argument("--kill-after", type=int, required=True,
+                       dest="kill_after")
+    child.add_argument("--options", default=None)
+    child.set_defaults(handler=cmd_kill9_child)
 
     from .obs.scenarios import SCENARIOS
 

@@ -257,6 +257,49 @@ class RecoveryError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Durability (journal / resume) errors
+# ---------------------------------------------------------------------------
+
+
+class PersistError(ReproError):
+    """Base class for the durable-journal subsystem."""
+
+
+class JournalError(PersistError):
+    """A journal file is structurally unusable (bad magic, unreadable
+    header, unsupported version).
+
+    A *torn tail* — trailing bytes that fail the length/CRC frame check —
+    is deliberately **not** an error: crash-consistency means a truncated
+    final frame is expected after a kill, so readers drop it and report
+    ``torn`` instead of raising.
+    """
+
+
+class ResumeMismatch(PersistError):
+    """A resumed run diverged from its journal.
+
+    Raised when the journal's header does not match the resume
+    configuration (different seed, scenario, or options) or when a
+    replayed scheduler decision differs from the recorded frame.  Carries
+    ``frame_index`` plus the expected and observed records, so the first
+    divergence is a precise reproduction recipe.
+    """
+
+    def __init__(self, reason: str, frame_index: int | None = None,
+                 expected: object = None, observed: object = None):
+        self.reason = reason
+        self.frame_index = frame_index
+        self.expected = expected
+        self.observed = observed
+        at = f" at frame {frame_index}" if frame_index is not None else ""
+        detail = ""
+        if expected is not None or observed is not None:
+            detail = f" (expected {expected!r}, observed {observed!r})"
+        super().__init__(f"resume mismatch{at}: {reason}{detail}")
+
+
+# ---------------------------------------------------------------------------
 # Verification errors
 # ---------------------------------------------------------------------------
 

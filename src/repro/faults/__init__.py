@@ -8,23 +8,29 @@ many performances under such plans and asserts that every run finishes
 residue-free (empty board, no waiters, no timers, no aliases).
 """
 
-from .plan import (CRASH, DROP, HEAL, KINDS, PARTITION, SLOW, FaultEvent,
-                   FaultPlan)
+from .plan import (BITFLIP, CORRUPTION_MODES, CRASH, DROP, GARBAGE, HEAL,
+                   KINDS, PARTITION, SLOW, TRUNCATE, FaultEvent, FaultPlan,
+                   JournalCorruptionPlan)
 from .soak import (SCRIPTS, ChaosRun, SoakReport, check_residue,
                    make_chaos_broadcast, run_chaos_broadcast, run_chaos_lock,
                    soak, verify_determinism)
 
 __all__ = [
+    "BITFLIP",
+    "CORRUPTION_MODES",
     "CRASH",
     "ChaosRun",
     "DROP",
     "FaultEvent",
     "FaultPlan",
+    "GARBAGE",
     "HEAL",
+    "JournalCorruptionPlan",
     "KINDS",
     "PARTITION",
     "SCRIPTS",
     "SLOW",
+    "TRUNCATE",
     "SoakReport",
     "check_residue",
     "make_chaos_broadcast",

@@ -299,3 +299,98 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultPlan {len(self.events)} events>"
+
+
+# -------------------------------------------------------------------------
+# Journal corruption: faults against the durability layer itself
+# -------------------------------------------------------------------------
+
+TRUNCATE = "truncate"
+BITFLIP = "bitflip"
+GARBAGE = "garbage"
+
+CORRUPTION_MODES = (TRUNCATE, BITFLIP, GARBAGE)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class JournalCorruptionPlan:
+    """A seeded, post-hoc corruption of a durable journal file.
+
+    Unlike :class:`FaultPlan`, which schedules misfortune *inside* the
+    virtual world, this plan attacks the persistence layer from outside —
+    the damage a crashing kernel, a cheap disk, or a half-finished write
+    can inflict on the file itself:
+
+    ``truncate``
+        Drop the final ``intensity`` bytes: the classic torn last write.
+    ``bitflip``
+        Flip ``intensity`` random bits inside the file's tail region: a
+        silent media error the CRC framing must catch.
+    ``garbage``
+        Append ``intensity`` random bytes: a torn write that got further
+        than its length prefix.
+
+    All randomness comes from ``seed``, so a corruption that exposes a
+    bug is its own reproduction recipe.  The 8-byte magic preamble is
+    never touched: these are crash-shaped faults, and no crash rewrites
+    the start of an append-only file — readers treat the damage as a
+    droppable torn tail, not a structural error.
+    """
+
+    seed: int
+    mode: str = TRUNCATE
+    intensity: int = 8
+
+    #: Bitflips land within this many bytes of the end of the file.
+    TAIL_REGION = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in CORRUPTION_MODES:
+            raise FaultPlanError(f"unknown corruption mode {self.mode!r}; "
+                                 f"choose from {CORRUPTION_MODES}")
+        if self.intensity < 1:
+            raise FaultPlanError(
+                f"corruption intensity must be >= 1, got {self.intensity}")
+
+    @classmethod
+    def random(cls, seed: int) -> "JournalCorruptionPlan":
+        """Draw a mode and intensity from ``seed`` (reproducibly)."""
+        rng = random.Random(seed)
+        return cls(seed=seed, mode=CORRUPTION_MODES[rng.randrange(
+            len(CORRUPTION_MODES))], intensity=rng.randint(1, 16))
+
+    def apply(self, path: str) -> str:
+        """Corrupt the file at ``path`` in place; return a description.
+
+        The journal magic (first 8 bytes) is preserved; truncation never
+        shortens the file below it.
+        """
+        rng = random.Random(self.seed)
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+            preamble = 8
+            if self.mode == TRUNCATE:
+                new_size = max(len(data) - self.intensity, preamble)
+                handle.truncate(new_size)
+                return (f"truncated {len(data) - new_size} byte(s) "
+                        f"from {path}")
+            if self.mode == BITFLIP:
+                low = max(preamble, len(data) - self.TAIL_REGION)
+                if low >= len(data):
+                    return f"nothing to flip in {path} (file is all magic)"
+                for _ in range(self.intensity):
+                    position = rng.randrange(low, len(data))
+                    data[position] ^= 1 << rng.randrange(8)
+                handle.seek(0)
+                handle.write(data)
+                return (f"flipped {self.intensity} bit(s) in the last "
+                        f"{len(data) - low} byte(s) of {path}")
+            handle.seek(0, 2)
+            handle.write(bytes(rng.randrange(256)
+                               for _ in range(self.intensity)))
+            return f"appended {self.intensity} garbage byte(s) to {path}"
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (f"journal {self.mode} intensity={self.intensity} "
+                f"(seed {self.seed})")

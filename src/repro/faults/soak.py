@@ -104,6 +104,9 @@ class ChaosRun:
     performances: int
     time: float
     trace: str
+    #: Raw trace events, for span/Chrome-trace export of this exact run
+    #: (the replay-equivalence property compares these byte-for-byte).
+    events: tuple = ()
 
 
 def check_residue(scheduler: Scheduler, seed: int,
@@ -141,7 +144,8 @@ def _fail(seed: int, message: str) -> None:
 def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
                         plan: FaultPlan | None = None,
                         enroll_window: float = 3.0,
-                        horizon: float = 30.0) -> ChaosRun:
+                        horizon: float = 30.0,
+                        journal: Any = None) -> ChaosRun:
     """One chaos broadcast: star network, seeded faults, full invariants.
 
     The sender sits on the hub, recipient *i* on leaf *i*.  Without an
@@ -150,6 +154,10 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
     unsealable performance, which is a scripted-system design error, not a
     chaos finding), recipient crashes at any time, one hub-leaf partition
     window, and optional latency/drop windows.
+
+    ``journal`` is a :class:`~repro.persist.record.FrameSink` (recorder
+    or replay validator); it is attached before any process exists, so
+    the journal covers the run's every nondeterminism-resolving step.
     """
     scheduler = Scheduler(seed=seed)
     topology = star(n)
@@ -157,6 +165,8 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
     placement.update({("R", i): ("leaf", i) for i in range(1, n + 1)})
     transport = NetworkTransport(topology, placement)
     scheduler.transport = transport
+    if journal is not None:
+        journal.attach(scheduler)
 
     script = make_chaos_broadcast(n, enroll_window)
     # Explicit name: the default names draw on a process-global counter,
@@ -233,11 +243,14 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
             if result.results.get(name) != payload:
                 _fail(seed, f"recipient {i} survived a completed broadcast "
                             f"but holds {result.results.get(name)!r}")
+    if journal is not None:
+        journal.finish(outcome)
     return ChaosRun(seed=seed, outcome=outcome, results=result.results,
                     killed=result.killed, crashes=supervisor.crashes,
                     aborts=supervisor.aborts, faults=plan.describe(),
                     performances=instance.performance_count,
-                    time=result.time, trace=format_trace(result.tracer))
+                    time=result.time, trace=format_trace(result.tracer),
+                    events=result.tracer.snapshot())
 
 
 # ---------------------------------------------------------------------------
@@ -246,7 +259,8 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
 
 def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
                    plan: FaultPlan | None = None,
-                   horizon: float = 12.0) -> ChaosRun:
+                   horizon: float = 12.0,
+                   journal: Any = None) -> ChaosRun:
     """One chaos lock-manager workload: client crashes mid-protocol.
 
     Each client starts at a staggered virtual time, takes a majority lock
@@ -271,6 +285,8 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
         placement[("client", i)] = ("n", k + i - 1)
     transport = NetworkTransport(topology, placement)
     scheduler.transport = transport
+    if journal is not None:
+        journal.attach(scheduler)
     service = ReplicatedLockService(scheduler, k=k, strategy=MAJORITY,
                                     instance_name="chaos_lock")
     instance = service.instance
@@ -353,11 +369,14 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
             _fail(seed, f"client {i} was granted but never released: "
                         f"{history!r}")
     outcome = "aborted" if supervisor.aborts else "completed"
+    if journal is not None:
+        journal.finish(outcome)
     return ChaosRun(seed=seed, outcome=outcome, results=result.results,
                     killed=result.killed, crashes=supervisor.crashes,
                     aborts=supervisor.aborts, faults=plan.describe(),
                     performances=instance.performance_count,
-                    time=result.time, trace=format_trace(result.tracer))
+                    time=result.time, trace=format_trace(result.tracer),
+                    events=result.tracer.snapshot())
 
 
 # ---------------------------------------------------------------------------

@@ -20,13 +20,14 @@ Three parts:
 
 from .export import (dump_chrome_trace, dump_spans_jsonl, jsonable,
                      load_spans_jsonl, span_to_dict, to_chrome_trace)
-from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+from .metrics import (BYTE_BUCKETS, DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, RuntimeMetrics)
 from .scenarios import SCENARIOS, ScenarioRun, run_scenario
 from .spans import Span, build_spans, span_tree_lines
 
 __all__ = [
     "Counter",
+    "BYTE_BUCKETS",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",

@@ -34,7 +34,20 @@ def jsonable(value: Any) -> Any:
     anything else is ``repr``-ed, which is deterministic for everything the
     runtime puts into event details.
     """
-    if value is None or isinstance(value, (bool, int, float, str)):
+    # Exact-type fast paths first: the ABC isinstance checks below go
+    # through ``__instancecheck__`` machinery that dominates render time
+    # on journal drains, and nearly every runtime value is a plain
+    # str/int/dict/list anyway.  Subclasses still take the general path.
+    kind = type(value)
+    if kind is str or kind is int or kind is float or value is None \
+            or kind is bool:
+        return value
+    if kind is dict:
+        return {k if type(k) is str else repr(k): jsonable(v)
+                for k, v in value.items()}
+    if kind is list or kind is tuple:
+        return [jsonable(item) for item in value]
+    if isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, Mapping):
         return {k if isinstance(k, str) else repr(k): jsonable(v)

@@ -15,7 +15,7 @@ from .effects import (ELSE_BRANCH, TIMED_OUT, TIMED_OUT_BRANCH, AddAlias,
                       GetTime, QueryProcesses, Receive, ReceivedMessage,
                       ReceiveTimeout, Select, SelectResult, Send, Spawn,
                       Trace, WaitUntil)
-from .instrument import NULL_SINK, NullSink, Sink
+from .instrument import NULL_SINK, NullSink, Sink, TeeSink
 from .process import Process, ProcessState
 from .scheduler import MatchFilter, RunResult, Scheduler, run_processes
 from .tracing import EventKind, TraceEvent, Tracer, format_trace
@@ -53,6 +53,7 @@ __all__ = [
     "SelectResult",
     "Send",
     "Spawn",
+    "TeeSink",
     "Trace",
     "TraceEvent",
     "Tracer",

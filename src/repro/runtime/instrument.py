@@ -56,6 +56,61 @@ class Sink:
                    latency: float) -> None:
         """The network transport charged one message ``src`` -> ``dst``."""
 
+    def on_decision(self, time: float, kind: str, subject: Hashable,
+                    payload: Any) -> None:
+        """The scheduler resolved a decision the trace does not carry.
+
+        ``kind`` is ``"choice"`` (a ``Choice`` effect was drawn from the
+        seeded RNG; ``payload`` is the picked option) or ``"timer"`` (an
+        armed timer fired; ``subject`` is its owner, ``payload`` its heap
+        sequence number).  Together with the trace events these callbacks
+        cover every nondeterminism-resolving step, which is what the
+        durable journal (:mod:`repro.persist`) records and replays.
+        """
+
+
+class TeeSink(Sink):
+    """Fan every callback out to several sinks, in order.
+
+    Lets two consumers — say a metrics sink and a journal recorder —
+    share one scheduler without either knowing about the other.  Falsy
+    sinks are dropped at construction, and a tee over nothing is itself
+    falsy, so the kernel's ``if self.sink:`` guards keep working.
+    """
+
+    def __init__(self, *sinks: Sink):
+        self.sinks: list[Sink] = [sink for sink in sinks if sink]
+
+    def __bool__(self) -> bool:
+        return bool(self.sinks)
+
+    def on_event(self, event: "TraceEvent") -> None:
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    def on_offer_posted(self, time: float, process: Hashable) -> None:
+        for sink in self.sinks:
+            sink.on_offer_posted(time, process)
+
+    def on_commit(self, time: float, sender: Hashable, receiver: Hashable,
+                  board_size: int, waiter_count: int) -> None:
+        for sink in self.sinks:
+            sink.on_commit(time, sender, receiver, board_size, waiter_count)
+
+    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+        for sink in self.sinks:
+            sink.on_index(time, pairs, dirty_events)
+
+    def on_message(self, time: float, src: Any, dst: Any,
+                   latency: float) -> None:
+        for sink in self.sinks:
+            sink.on_message(time, src, dst, latency)
+
+    def on_decision(self, time: float, kind: str, subject: Hashable,
+                    payload: Any) -> None:
+        for sink in self.sinks:
+            sink.on_decision(time, kind, subject, payload)
+
 
 class NullSink(Sink):
     """The no-op sink; falsy so guarded call sites skip the call entirely."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import heapq
 import random
+import struct
+import zlib
 from collections import deque
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
@@ -44,6 +46,23 @@ Transport = Callable[["Scheduler", board_mod.Commit], float]
 #: link partitions: a partitioned pair simply never matches, so senders
 #: block (and, with timeouts, expire) until the link heals.
 MatchFilter = Callable[[Process, Process], bool]
+
+
+def _rng_crc(state: tuple) -> int:
+    """CRC32 fingerprint of a ``random.Random`` state tuple.
+
+    The Mersenne Twister word vector packs straight into 32-bit
+    little-endian — orders of magnitude cheaper than repr'ing a 625-int
+    tuple — with version and gauss-carry folded in on top.  Falls back to
+    the repr of the whole tuple if the state is not the expected shape
+    (a subclassed RNG, say), trading speed for the same determinism.
+    """
+    try:
+        version, words, gauss = state
+        crc = zlib.crc32(struct.pack(f"<{len(words)}I", *words))
+    except (ValueError, TypeError, struct.error):
+        return zlib.crc32(repr(state).encode("utf-8"))
+    return zlib.crc32(repr((version, gauss)).encode("utf-8"), crc)
 
 
 class RunResult:
@@ -151,9 +170,10 @@ class Scheduler:
                  transport: Transport | None = None,
                  sink: Sink | None = None,
                  board: RendezvousBoard | None = None):
+        self.seed = seed
         self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else Tracer()
-        self.sink = sink if sink is not None else NULL_SINK
+        self.sink = sink if sink is not None else NULL_SINK  # via property
         self.max_steps = max_steps
         self.fail_fast = fail_fast
         self.transport = transport
@@ -190,6 +210,57 @@ class Scheduler:
         # Steps that leave it clear skip the settle entirely when no
         # waiter predicates are parked.
         self._board_dirty = True
+        # Total committed rendezvous, kept live by _commit; the cadence
+        # hook (see set_commit_cadence) fires every N-th commit without
+        # any sink-dispatch cost on the other N-1.
+        self.commit_count = 0
+        self._cadence_every = 1
+        self._cadence_hook: Callable[[], None] | None = None
+
+    def set_commit_cadence(self, every: int,
+                           hook: Callable[[], None] | None) -> None:
+        """Invoke ``hook()`` after every ``every``-th committed rendezvous.
+
+        A single slot, deliberately cheaper than a :class:`Sink`: the
+        scheduler pays two integer operations per commit instead of a
+        Python method call, which is what lets the journal recorder keep
+        its snapshot cadence while staying within its overhead budget.
+        The hook fires right after the commit's trace event and sink
+        callbacks, so anything it emits lands after the COMM frame —
+        replay relies on that ordering being identical on both sides.
+        Pass ``hook=None`` to clear.
+        """
+        if every < 1:
+            raise RuntimeKernelError("commit cadence must be >= 1")
+        if hook is not None and self._cadence_hook is not None \
+                and hook is not self._cadence_hook:
+            raise RuntimeKernelError(
+                "a commit-cadence hook is already installed")
+        self._cadence_every = every
+        self._cadence_hook = hook
+
+    @property
+    def sink(self) -> Sink:
+        """The installed instrumentation sink (``NULL_SINK`` when off)."""
+        return self._sink
+
+    @sink.setter
+    def sink(self, sink: Sink | None) -> None:
+        # Capability flags, recomputed on every install: hot-path call
+        # sites only dispatch callbacks the sink's class actually
+        # overrides, so a sink interested in commits alone (a journal
+        # recorder, say) never pays per-offer no-op calls.  Class-level
+        # detection: per-instance monkeypatched callbacks are not seen.
+        sink = sink if sink is not None else NULL_SINK
+        self._sink = sink
+        armed = bool(sink)
+        cls = type(sink)
+        self._sink_offer = (armed and
+                            cls.on_offer_posted is not Sink.on_offer_posted)
+        self._sink_index = armed and cls.on_index is not Sink.on_index
+        self._sink_commit = armed and cls.on_commit is not Sink.on_commit
+        self._sink_decision = (armed and
+                               cls.on_decision is not Sink.on_decision)
 
     # ------------------------------------------------------------------
     # Residue introspection (public: soak tests and supervisors use these)
@@ -209,6 +280,50 @@ class Scheduler:
     def pending_timer_count(self) -> int:
         """Number of armed (non-cancelled) timers (O(1), kept live)."""
         return self._armed_timers
+
+    def state_digest(self) -> dict[str, Any]:
+        """Deterministic fingerprint of the scheduler's resumable state.
+
+        Everything a journal snapshot needs to assert that a replayed
+        scheduler stands exactly where the original did: virtual time,
+        step count, which processes hold board offers / waiters / armed
+        timers, the alias registry keys, and a CRC of the RNG state (the
+        full state tuple is large; the CRC detects divergence just as
+        well).  Keys are rendered with ``repr`` and sorted so the digest
+        is insertion-order independent and JSON-stable.
+
+        Equivalent to ``digest_of(state_capture())``; callers on a hot
+        path take the cheap capture now and render the digest later.
+        """
+        return self.digest_of(self.state_capture())
+
+    def state_capture(self) -> tuple:
+        """Cheap point-in-time copy of everything :meth:`state_digest` reads.
+
+        Shallow key copies plus the RNG state tuple — tens of
+        microseconds, vs the repr/sort/CRC rendering cost of the digest
+        itself.  The journal recorder snapshots with this inside the run
+        loop and renders via :meth:`digest_of` at the next durability
+        point; both orders yield the identical digest because the capture
+        is already decoupled from the live structures.
+        """
+        return (self.now, self.total_steps, list(self._board.groups),
+                list(self._waiters), self._armed_timers,
+                list(self.alias_owner), self.rng.getstate())
+
+    @staticmethod
+    def digest_of(capture: tuple) -> dict[str, Any]:
+        """Render a :meth:`state_capture` into the digest mapping."""
+        now, steps, board, waiters, timers, aliases, rng_state = capture
+        return {
+            "now": now,
+            "steps": steps,
+            "board": sorted(repr(name) for name in board),
+            "waiters": sorted(repr(name) for name in waiters),
+            "timers": timers,
+            "aliases": sorted(repr(alias) for alias in aliases),
+            "rng": _rng_crc(rng_state),
+        }
 
     def blocked_only_on(self, aliases: Iterable[Hashable]) -> list[Hashable]:
         """Names of processes whose *every* pending offer targets ``aliases``.
@@ -261,6 +376,13 @@ class Scheduler:
             else:
                 self._reaped_results[name] = old.result
             self._process_timers.pop(name, None)
+            # Release any aliases the finished record still holds *before*
+            # spawn re-claims the name.  Every normal finish path already
+            # released them, but a stale extra alias (role address) left
+            # behind by an exotic path would otherwise keep routing
+            # rendezvous to the dead record — and claiming over it would
+            # leave the registry inconsistent with ``old.aliases``.
+            self._release_aliases(old)
             del self.processes[name]
         return self.spawn(name, body)
 
@@ -363,6 +485,11 @@ class Scheduler:
         if current is not None and not current.finished and current is not process:
             raise RuntimeKernelError(
                 f"alias {alias!r} already owned by {current.name!r}")
+        if current is not None and current is not process:
+            # Overwriting a finished owner's claim: release it properly
+            # first so the board index drops pairs routed through the old
+            # owner and ``current.aliases`` stays consistent.
+            self._release_alias(alias, current)
         self.alias_owner[alias] = process
         process.aliases.add(alias)
         self._board.on_alias_claimed(alias, process)
@@ -463,13 +590,15 @@ class Scheduler:
     def _advance_clock(self, to_time: float) -> None:
         self.now = to_time
         while self._timers and self._timers[0][0] <= self.now:
-            _, _, handle = heapq.heappop(self._timers)
+            _, seq, handle = heapq.heappop(self._timers)
             handle._in_heap = False
             if handle.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
             self._armed_timers -= 1
             self._unregister_timer(handle)
+            if self._sink_decision:
+                self._sink.on_decision(self.now, "timer", handle.owner, seq)
             handle.action()
         self._prune_timers()
 
@@ -611,8 +740,8 @@ class Scheduler:
         process._blocked_reason = group.describe  # rendered lazily on read
         self._board.post(group)
         self._board_dirty = True
-        if self.sink:
-            self.sink.on_offer_posted(self.now, process.name)
+        if self._sink_offer:
+            self._sink.on_offer_posted(self.now, process.name)
         if timeout is None:
             return
 
@@ -686,7 +815,11 @@ class Scheduler:
         elif isinstance(effect, GetName):
             self._make_ready(process, process.name)
         elif isinstance(effect, Choice):
-            self._make_ready(process, self.rng.choice(effect.options))
+            picked = self.rng.choice(effect.options)
+            if self._sink_decision:
+                self._sink.on_decision(self.now, "choice", process.name,
+                                      picked)
+            self._make_ready(process, picked)
         elif isinstance(effect, QueryProcesses):
             statuses = {}
             for name in effect.names:
@@ -842,11 +975,16 @@ class Scheduler:
             receiver=receiver.name, to=send.partner_alias,
             sender_alias=sender_identity, tag=send.tag,
             value=send.value)
-        if self.sink:
-            self.sink.on_commit(self.now, sender.name, receiver.name,
-                                len(self._board), len(self._waiters))
-            self.sink.on_index(self.now, self._board.index_size,
-                               self._board.dirty_events)
+        if self._sink_commit:
+            self._sink.on_commit(self.now, sender.name, receiver.name,
+                                 len(self._board), len(self._waiters))
+        if self._sink_index:
+            self._sink.on_index(self.now, self._board.index_size,
+                                self._board.dirty_events)
+        self.commit_count += 1
+        if (self._cadence_hook is not None
+                and self.commit_count % self._cadence_every == 0):
+            self._cadence_hook()
         if delay > 0:
             self._push_timer(
                 self.now + delay,

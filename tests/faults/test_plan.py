@@ -305,3 +305,61 @@ def test_describe_is_human_readable():
     assert "partition" in lines[1]
     assert "latency x2" in lines[2]
     assert "drop retries=1" in lines[3]
+
+
+# ---------------------------------------------------------------------------
+# Journal corruption: crash-shaped faults against the durability layer
+# ---------------------------------------------------------------------------
+
+def _journal(tmp_path, frames=6):
+    from repro.persist.journal import HEADER, JournalWriter
+    path = tmp_path / "victim.jrnl"
+    with JournalWriter(path) as writer:
+        writer.append({"k": HEADER, "version": 1, "seed": 0,
+                       "scenario": "t", "options": {}, "snapshot_every": 64})
+        for i in range(frames):
+            writer.append({"k": "event", "seq": i, "kind": "comm"})
+    return path
+
+
+def test_corruption_plan_validation():
+    from repro.faults import JournalCorruptionPlan
+    with pytest.raises(FaultPlanError, match="corruption mode"):
+        JournalCorruptionPlan(seed=0, mode="shred")
+    with pytest.raises(FaultPlanError, match="intensity"):
+        JournalCorruptionPlan(seed=0, intensity=0)
+
+
+def test_corruption_plan_random_is_seed_reproducible():
+    from repro.faults import CORRUPTION_MODES, JournalCorruptionPlan
+    first = JournalCorruptionPlan.random(42)
+    second = JournalCorruptionPlan.random(42)
+    assert first == second
+    assert first.mode in CORRUPTION_MODES
+    assert "seed 42" in first.describe()
+
+
+@pytest.mark.parametrize("mode", ["truncate", "bitflip", "garbage"])
+def test_corruption_reads_as_torn_tail_never_structural(tmp_path, mode):
+    """Every corruption mode leaves a journal the reader can still open:
+    the damage drops frames from the tail, it never raises."""
+    from repro.faults import JournalCorruptionPlan
+    from repro.persist.journal import read_journal
+    path = _journal(tmp_path)
+    intact = len(read_journal(path).frames)
+    description = JournalCorruptionPlan(
+        seed=1, mode=mode, intensity=12).apply(str(path))
+    assert mode[:4] in description or "flip" in description
+    doc = read_journal(path)                      # must not raise
+    assert path.read_bytes()[:8] == b"SCRJRNL1"   # magic never touched
+    assert len(doc.frames) <= intact
+    if doc.frames or doc.torn:
+        assert doc.header["scenario"] == "t"
+
+
+def test_truncate_never_cuts_into_the_magic(tmp_path):
+    from repro.faults import JournalCorruptionPlan
+    path = _journal(tmp_path, frames=0)
+    JournalCorruptionPlan(seed=0, mode="truncate",
+                          intensity=10_000).apply(str(path))
+    assert path.read_bytes() == b"SCRJRNL1"

@@ -1,0 +1,150 @@
+"""Record → resume round-trips: validation, mismatches, lazy/eager parity."""
+
+import pytest
+
+from repro.errors import PersistError, ResumeMismatch
+from repro.persist import JournalRecorder, record_run, resume
+from repro.persist.journal import DECISION, EVENT, SNAPSHOT, read_journal
+from repro.persist.record import FrameSink
+from repro.persist.resume import commit_summary
+from repro.runtime import Scheduler
+
+
+@pytest.mark.parametrize("scenario,seed", [
+    ("broadcast", 0), ("broadcast", 7), ("lock", 3), ("recover", 1),
+])
+def test_roundtrip_validates_every_frame(tmp_path, scenario, seed):
+    path = tmp_path / f"{scenario}-{seed}.jrnl"
+    record_run(scenario, seed, path)
+    report = resume(path, expect_seed=seed, expect_scenario=scenario)
+    # A complete journal replays end to end: nothing fresh, no tear.
+    assert report.complete and not report.torn
+    assert report.replayed == report.journal_frames
+    assert report.fresh == 0
+    assert report.committed == commit_summary(read_journal(path).frames)
+
+
+def test_journal_covers_every_nondeterminism_source(tmp_path):
+    path = tmp_path / "b.jrnl"
+    record_run("broadcast", 0, path)
+    doc = read_journal(path)
+    kinds = {frame["k"] for frame in doc.frames}
+    assert EVENT in kinds
+    assert DECISION in kinds or SNAPSHOT in kinds
+    assert doc.complete
+
+
+def test_snapshot_frames_follow_commit_cadence(tmp_path):
+    path = tmp_path / "b.jrnl"
+    record_run("lock", 3, path, snapshot_every=5)
+    doc = read_journal(path)
+    snapshots = doc.of_kind(SNAPSHOT)
+    assert snapshots, "a lock run commits enough to cross the cadence"
+    assert all(snap["commits"] % 5 == 0 for snap in snapshots)
+    digests = [snap["digest"] for snap in snapshots]
+    assert all({"now", "steps", "rng"} <= set(d) for d in digests)
+
+
+def test_lazy_and_eager_recorders_write_identical_journals(tmp_path):
+    # The write-behind buffer is a pure performance trade: deferring the
+    # render must never change what lands on disk.
+    lazy = tmp_path / "lazy.jrnl"
+    eager = tmp_path / "eager.jrnl"
+    record_run("broadcast", 4, lazy)
+    record_run("broadcast", 4, eager, fsync_every=1)
+    assert lazy.read_bytes() == eager.read_bytes()
+
+
+def test_resume_rejects_wrong_seed(tmp_path):
+    path = tmp_path / "b.jrnl"
+    record_run("broadcast", 0, path)
+    with pytest.raises(ResumeMismatch, match="seed"):
+        resume(path, expect_seed=999)
+
+
+def test_resume_rejects_wrong_scenario(tmp_path):
+    path = tmp_path / "b.jrnl"
+    record_run("broadcast", 0, path)
+    with pytest.raises(ResumeMismatch, match="scenario"):
+        resume(path, expect_scenario="lock")
+
+
+def test_resume_rejects_unknown_scenario(tmp_path):
+    path = tmp_path / "b.jrnl"
+    recorder = JournalRecorder(path, seed=0, scenario="not-a-scenario")
+    recorder.finish("ok")
+    with pytest.raises(ResumeMismatch, match="unknown scenario"):
+        resume(path)
+
+
+def test_record_run_rejects_unknown_scenario(tmp_path):
+    with pytest.raises(PersistError, match="unknown scenario"):
+        record_run("not-a-scenario", 0, tmp_path / "x.jrnl")
+
+
+def test_torn_tail_resumes_and_continues(tmp_path):
+    path = tmp_path / "b.jrnl"
+    record_run("broadcast", 0, path)
+    intact = len(read_journal(path).frames)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 7)                 # tear the end frame
+    report = resume(path, expect_seed=0)
+    assert report.torn and not report.complete
+    assert report.journal_frames < intact
+    assert report.replayed == report.journal_frames
+    # The replay runs past the tear: the dropped frames come back fresh.
+    assert report.fresh > 0
+
+
+def test_close_without_finish_reads_as_crashed_run(tmp_path):
+    path = tmp_path / "c.jrnl"
+    recorder = JournalRecorder(path, seed=0, scenario="broadcast")
+    recorder.close()
+    doc = read_journal(path)
+    assert not doc.complete and not doc.torn
+
+
+def test_recorder_rejects_double_attach(tmp_path):
+    recorder = JournalRecorder(tmp_path / "j.jrnl", seed=0, scenario="x")
+    recorder.attach(Scheduler(seed=0))
+    with pytest.raises(PersistError, match="already attached"):
+        recorder.attach(Scheduler(seed=0))
+    recorder.close()
+
+
+def test_recorder_rejects_bad_snapshot_cadence(tmp_path):
+    with pytest.raises(PersistError, match="snapshot_every"):
+        JournalRecorder(tmp_path / "j.jrnl", seed=0, scenario="x",
+                        snapshot_every=0)
+
+
+def test_frame_sink_base_hooks_are_abstract():
+    sink = FrameSink()
+    with pytest.raises(NotImplementedError):
+        sink._note_frame({"k": "event"})
+    with pytest.raises(NotImplementedError):
+        sink.finish("ok")
+
+
+def test_header_without_cadence_is_rejected(tmp_path):
+    from repro.persist.journal import HEADER, JournalWriter
+    path = tmp_path / "old.jrnl"
+    with JournalWriter(path) as writer:
+        writer.append({"k": HEADER, "version": 1, "seed": 0,
+                       "scenario": "broadcast", "options": {}})
+    with pytest.raises(ResumeMismatch, match="cadence"):
+        resume(path)
+
+
+def test_resume_is_idempotent(tmp_path):
+    # Resuming never mutates the journal: a second resume sees the same
+    # file and produces the same report.
+    path = tmp_path / "b.jrnl"
+    record_run("broadcast", 2, path)
+    before = path.read_bytes()
+    first = resume(path)
+    second = resume(path)
+    assert path.read_bytes() == before
+    assert first.committed == second.committed
+    assert first.replayed == second.replayed

@@ -208,3 +208,62 @@ def test_respawned_process_runs_a_fresh_body():
     assert result.results["W"] == "survived"
     # The original kill is still visible in the run result.
     assert "W" in result.killed
+
+
+# ---------------------------------------------------------------------------
+# resume_from_journal: recovery decisions made durable before acting
+# ---------------------------------------------------------------------------
+
+class BarrierSpy:
+    """Counts durability barriers, like a journal recorder would take."""
+
+    def __init__(self):
+        self.barriers = 0
+
+    def barrier(self):
+        self.barriers += 1
+
+
+def test_strategy_validation():
+    scheduler = Scheduler(seed=0)
+    with pytest.raises(RecoveryError, match="unknown restart strategy"):
+        RestartPolicy(scheduler, {}, strategy="reincarnate")
+    with pytest.raises(RecoveryError, match="needs a journal"):
+        RestartPolicy(scheduler, {}, strategy="resume_from_journal")
+
+
+def test_resume_from_journal_barriers_every_recovery_decision():
+    """With the durable strategy, every RECOVERY trace emission is
+    preceded by a journal barrier: scheduled restarts, executed restarts
+    and the quarantine escalation all hit disk before the world moves."""
+    scheduler = Scheduler(seed=0)
+    journal = BarrierSpy()
+    RestartPolicy(
+        scheduler, {"W": forever},
+        backoff=BackoffSchedule(base=1.0, factor=1.0, jitter=0.0),
+        max_restarts=2, window=100.0, seed=0,
+        strategy="resume_from_journal", journal=journal)
+    scheduler.spawn("W", forever())
+    for t in (1.0, 3.0, 5.0):
+        scheduler.kill_at(t, "W")
+    scheduler.run()
+
+    decisions = len(recovery_events(scheduler))
+    assert decisions > 0
+    assert journal.barriers == decisions
+
+
+def test_respawn_strategy_never_touches_the_journal():
+    scheduler = Scheduler(seed=0)
+    journal = BarrierSpy()
+    RestartPolicy(
+        scheduler, {"W": forever},
+        backoff=BackoffSchedule(base=1.0, factor=1.0, jitter=0.0),
+        max_restarts=2, window=100.0, seed=0,
+        strategy="respawn", journal=journal)
+    scheduler.spawn("W", forever())
+    for t in (1.0, 3.0, 5.0):                     # ends in quarantine
+        scheduler.kill_at(t, "W")
+    scheduler.run()
+    assert len(recovery_events(scheduler)) > 0
+    assert journal.barriers == 0

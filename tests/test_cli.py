@@ -264,3 +264,55 @@ def test_chaos_recover_soak_with_trace_artifact(tmp_path, capsys):
 def test_chaos_recover_rejects_non_broadcast_scripts(capsys):
     assert main(["chaos", "lock", "--recover"]) == 2
     assert "broadcast" in capsys.readouterr().err
+
+
+def test_chaos_recover_quarantine_exits_nonzero(capsys):
+    # A restart cap below the crash plan's coverage deterministically
+    # quarantines a name; the soak must not exit clean over a process
+    # that never came back.
+    assert main(["chaos", "--recover", "--runs", "2",
+                 "--max-restarts", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "quarantined" in captured.out
+    assert "never recovered" in captured.err
+
+
+def test_replay_verb_validates_and_summarizes(tmp_path, capsys):
+    from repro.persist import record_run
+
+    journal = tmp_path / "run.jrnl"
+    record_run("broadcast", 0, journal)
+    assert main(["replay", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "replayed identically" in out
+    assert "0 fresh frame(s)" in out
+
+
+def test_replay_verb_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["replay", str(tmp_path / "nope.jrnl")]) == 2
+    assert "nope.jrnl" in capsys.readouterr().err
+
+
+def test_replay_verb_rejects_non_journal(tmp_path, capsys):
+    path = tmp_path / "junk.jrnl"
+    path.write_bytes(b"this is not a journal at all")
+    assert main(["replay", str(path)]) == 1
+    assert "magic" in capsys.readouterr().err
+
+
+def test_chaos_kill9_requires_resume(capsys):
+    assert main(["chaos", "broadcast", "--kill9"]) == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_chaos_kill9_resume_roundtrip(tmp_path, capsys):
+    # Full harness through the CLI: oracle run, SIGKILLed child
+    # subprocess, torn tail, resume, committed-sequence comparison.
+    assert main(["chaos", "broadcast", "--kill9", "--resume", "--torn",
+                 "--seed", "0", "--journal", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "SIGKILL" in out
+    assert "identical to oracle" in out
+    # --journal keeps the artifacts for inspection.
+    assert (tmp_path / "oracle-broadcast-0.jrnl").exists()
+    assert (tmp_path / "crash-broadcast-0.jrnl").exists()
