@@ -25,6 +25,7 @@ directly and upload the JSON artifact.
 import json
 import os
 import pathlib
+import statistics
 import time
 
 import pytest
@@ -152,21 +153,29 @@ def make_scheduler(board_name):
 BOARDS = ("indexed", "oracle")
 
 
-REPS = 5  # best-of-N wall clock per cell; N>2 to ride out scheduler jitter
+REPS = 5  # timed rounds per cell; N>2 so the median rides out jitter
 
 
 def measure(shape, n, board_name):
-    """Run one cell; return (comms, wall seconds) for the best of REPS runs."""
-    best = None
+    """Run one cell; return (comms, wall seconds) as the median of REPS.
+
+    One untimed warmup round runs first so allocator warm-up, lazy
+    imports and branch-predictor state are paid outside the measurement;
+    the median of the timed rounds is then robust against a single
+    descheduled outlier in either direction, where the old best-of could
+    only absorb slow outliers.
+    """
+    scheduler = make_scheduler(board_name)
+    comms = SHAPES[shape](scheduler, n)
+    scheduler.run()  # warmup: same shape, thrown away
+    samples = []
     for _ in range(REPS):
         scheduler = make_scheduler(board_name)
         comms = SHAPES[shape](scheduler, n)
         start = time.perf_counter()
         scheduler.run()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    return comms, best
+        samples.append(time.perf_counter() - start)
+    return comms, statistics.median(samples)
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +260,78 @@ def test_scaling_sweep(capsys):
     assert not regressions, \
         "ops/sec regression vs committed baseline:\n  " \
         + "\n  ".join(regressions)
+
+
+# ---------------------------------------------------------------------------
+# Profile mode: phase attribution per cell -> BENCH_profile.json
+# ---------------------------------------------------------------------------
+
+PROFILE_OUTPUT = REPO_ROOT / "BENCH_profile.json"
+
+
+def profile_cell(shape, n):
+    """One profiled run of a (shape, N) cell on the indexed board.
+
+    Returns the cell dict for ``BENCH_profile.json``: the full
+    :meth:`ProfileReport.to_dict(wall=True)` report plus ops/sec, so
+    ``python -m repro profile --diff`` can explain a regression between
+    two sweeps.  A warmup run precedes the profiled one for the same
+    reason :func:`measure` warms up.
+    """
+    from repro.obs import Profiler
+    scheduler = make_scheduler("indexed")
+    SHAPES[shape](scheduler, n)
+    scheduler.run()  # warmup
+    scheduler = make_scheduler("indexed")
+    profiler = Profiler().attach(scheduler)
+    comms = SHAPES[shape](scheduler, n)
+    start = time.perf_counter()
+    scheduler.run()
+    elapsed = time.perf_counter() - start
+    cell = profiler.report(scenario=shape, seed=0, n=n).to_dict(wall=True)
+    cell["comms"] = comms
+    cell["ops_per_sec"] = round(comms / elapsed, 1)
+    return cell
+
+
+def test_profile_sweep(capsys):
+    """Attribute each cell's wall time to kernel phases.
+
+    Writes ``BENCH_profile.json`` in the ``{"shapes": {shape: {n: cell}}}``
+    layout that :func:`repro.obs.profile.diff_attributions` consumes.  The
+    acceptance floor: at the fan-in cliff (N=500) the named phases must
+    explain >= 95% of the run's wall time — anything less means the
+    profiler is missing where the cycles go exactly where it matters.
+    """
+    report = {"generated_by": "benchmarks/test_scheduler_scaling.py",
+              "profile_version": 1, "rounds_per_pair": ROUNDS,
+              "sizes": list(SIZES), "shapes": {}}
+    for shape in SHAPES:
+        report["shapes"][shape] = {str(n): profile_cell(shape, n)
+                                   for n in SIZES}
+    PROFILE_OUTPUT.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    with capsys.disabled():
+        print(f"\nwrote {PROFILE_OUTPUT}")
+        for shape, cells in report["shapes"].items():
+            for n, cell in cells.items():
+                wall = cell["wall"]
+                top = max(
+                    wall["phases"], key=lambda p: wall["phases"][p]["ns"])
+                print(f"  {shape:>8} N={n:>4}: "
+                      f"{wall['attributed_pct']:>6.2f}% attributed, "
+                      f"top phase {top} "
+                      f"({wall['phases'][top]['pct']}%), "
+                      f"{cell['per_commit']['candidates_seen']} "
+                      f"candidates/commit")
+
+    for shape, cells in report["shapes"].items():
+        for n, cell in cells.items():
+            assert cell["wall"]["attributed_pct"] > 0, (shape, n)
+    if 500 in SIZES:
+        fanin = report["shapes"]["fanin"]["500"]
+        assert fanin["wall"]["attributed_pct"] >= 95.0, fanin["wall"]
 
 
 @pytest.mark.parametrize("shape", sorted(SHAPES))

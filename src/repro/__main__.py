@@ -397,6 +397,65 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a scenario's kernel hot path, or diff two saved profiles."""
+    import json
+
+    from .obs import (build_spans, diff_attributions, jsonable,
+                      merge_chrome_events, profile_scenario, to_chrome_trace)
+    if args.diff:
+        old_path, new_path = args.diff
+        with open(old_path, encoding="utf-8") as handle:
+            old = json.load(handle)
+        with open(new_path, encoding="utf-8") as handle:
+            new = json.load(handle)
+        lines = diff_attributions(old, new)
+        if not lines:
+            print(f"no comparable wall attributions between "
+                  f"{old_path} and {new_path}")
+            return 0
+        for line in lines:
+            print(line)
+        return 0
+    if args.scenario is None:
+        print("error: a scenario is required unless --diff is given",
+              file=sys.stderr)
+        return 2
+    run, report = profile_scenario(args.scenario, seed=args.seed, n=args.n,
+                                   deterministic=args.deterministic)
+    # --deterministic makes even the wall section byte-stable, so include
+    # it then too: the saved JSON stays diffable without sacrificing the
+    # stability guarantee.
+    wall = args.wall or args.deterministic
+    if args.json:
+        with open(args.json, "w", encoding="utf-8", newline="") as handle:
+            handle.write(json.dumps(jsonable(report.to_dict(wall=wall)),
+                                    sort_keys=True, indent=2) + "\n")
+    if args.flame:
+        with open(args.flame, "w", encoding="utf-8", newline="") as handle:
+            handle.write("\n".join(report.flame_lines()) + "\n")
+    if args.chrome:
+        spans = build_spans(run.scheduler.tracer.snapshot())
+        document = to_chrome_trace(spans)
+        merged = merge_chrome_events(document, report.chrome_events())
+        with open(args.chrome, "w", encoding="utf-8", newline="") as handle:
+            handle.write(merged)
+    print(f"{run.name} (seed {args.seed}, n {args.n}): {run.headline}")
+    print()
+    for line in report.summary_lines():
+        print(line)
+    written = [path for path in (args.json, args.flame, args.chrome) if path]
+    if written:
+        print()
+        print(f"wrote {', '.join(written)}")
+        if args.flame:
+            print("flamegraph: drop the file on "
+                  "https://www.speedscope.app")
+        if args.chrome:
+            print("trace: open in Perfetto (https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -531,6 +590,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the summary as JSON instead of text")
     stats.set_defaults(handler=cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="profile a scenario's kernel hot path (phase "
+                        "attribution, flamegraph, Chrome trace)")
+    profile.add_argument("scenario", nargs="?", choices=SCENARIOS,
+                         help="scenario to profile (omit with --diff)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--n", type=int, default=5,
+                         help="scenario size (recipients/stations)")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write the report as JSON (deterministic "
+                              "counters only unless --wall)")
+    profile.add_argument("--wall", action="store_true",
+                         help="include measured wall-clock attribution "
+                              "in the JSON report")
+    profile.add_argument("--flame", default=None, metavar="PATH",
+                         help="write collapsed-stack flamegraph lines "
+                              "(speedscope / flamegraph.pl)")
+    profile.add_argument("--chrome", default=None, metavar="PATH",
+                         help="write the span trace with the profiler "
+                              "lane merged in (Perfetto)")
+    profile.add_argument("--deterministic", action="store_true",
+                         help="use a tick clock: every export becomes "
+                              "byte-stable for the seed")
+    profile.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                         default=None,
+                         help="explain a regression: compare two saved "
+                              "profile JSON files instead of running")
+    profile.set_defaults(handler=cmd_profile)
     return parser
 
 

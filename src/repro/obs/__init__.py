@@ -19,9 +19,12 @@ Three parts:
 """
 
 from .export import (dump_chrome_trace, dump_spans_jsonl, jsonable,
-                     load_spans_jsonl, span_to_dict, to_chrome_trace)
+                     load_spans_jsonl, merge_chrome_events, span_to_dict,
+                     to_chrome_trace)
 from .metrics import (BYTE_BUCKETS, DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, RuntimeMetrics)
+from .profile import (PHASES, ProfileReport, Profiler, diff_attributions,
+                      profile_scenario, tick_clock)
 from .scenarios import SCENARIOS, ScenarioRun, run_scenario
 from .spans import Span, build_spans, span_tree_lines
 
@@ -32,17 +35,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PHASES",
+    "ProfileReport",
+    "Profiler",
     "RuntimeMetrics",
     "SCENARIOS",
     "ScenarioRun",
     "Span",
     "build_spans",
+    "diff_attributions",
     "dump_chrome_trace",
     "dump_spans_jsonl",
     "jsonable",
     "load_spans_jsonl",
+    "merge_chrome_events",
+    "profile_scenario",
     "run_scenario",
     "span_to_dict",
     "span_tree_lines",
-    "to_chrome_trace",
+    "tick_clock",
 ]

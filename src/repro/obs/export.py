@@ -133,6 +133,23 @@ def dump_chrome_trace(spans: Iterable[Span]) -> str:
                       separators=(",", ":")) + "\n"
 
 
+def merge_chrome_events(document: Mapping[str, Any],
+                        events: Iterable[Mapping[str, Any]]) -> str:
+    """Append extra trace events to a Chrome trace document and serialize.
+
+    Used to merge the profiler's phase-attribution lane (see
+    :meth:`repro.obs.profile.ProfileReport.chrome_events`) into the span
+    trace of the same run: the extra events ride on their own ``tid``, so
+    Perfetto shows them as one more track.  Serialization matches
+    :func:`dump_chrome_trace` byte for byte, so the merged file is as
+    stable as its inputs.
+    """
+    merged = dict(document)
+    merged["traceEvents"] = list(document["traceEvents"]) + list(events)
+    return json.dumps(jsonable(merged), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
 def span_to_dict(span: Span) -> dict[str, Any]:
     """JSON-able dict for one span (the JSONL record shape)."""
     return {"sid": span.sid, "parent": span.parent, "kind": span.kind,

@@ -37,7 +37,20 @@ class ScenarioRun:
     headline: str
 
 
-def _run_broadcast(seed: int, n: int) -> ScenarioRun:
+def _instrument(scheduler: Scheduler, transport: Any,
+                profiler: Any) -> RuntimeMetrics:
+    """Attach the standard metrics sink, plus an optional profiler on top.
+
+    Order matters: the profiler tees onto whatever sink is already
+    installed, so metrics keep flowing while phase timing is armed.
+    """
+    metrics = RuntimeMetrics().attach(scheduler, transport)
+    if profiler is not None:
+        profiler.attach(scheduler)
+    return metrics
+
+
+def _run_broadcast(seed: int, n: int, profiler: Any = None) -> ScenarioRun:
     """Star broadcast, two performances, unit-latency star network."""
     from ..scripts import make_broadcast
     from ..scripts.broadcast import data_param_name, sender_role_name
@@ -47,7 +60,7 @@ def _run_broadcast(seed: int, n: int) -> ScenarioRun:
     placement.update({("R", i): ("leaf", i) for i in range(1, n + 1)})
     transport = NetworkTransport(star(n), placement)
     scheduler.transport = transport
-    metrics = RuntimeMetrics().attach(scheduler, transport)
+    metrics = _instrument(scheduler, transport, profiler)
 
     script = make_broadcast(n, "star")
     instance = script.instance(scheduler, name="demo_broadcast")
@@ -75,7 +88,7 @@ def _run_broadcast(seed: int, n: int) -> ScenarioRun:
                        headline)
 
 
-def _run_lock(seed: int, n: int) -> ScenarioRun:
+def _run_lock(seed: int, n: int, profiler: Any = None) -> ScenarioRun:
     """The Figure 5 lock-manager workload on a complete unit-latency net."""
     from ..scripts import ONE_READ_ALL_WRITE, ReplicatedLockService
 
@@ -86,7 +99,7 @@ def _run_lock(seed: int, n: int) -> ScenarioRun:
                       for index in range(1, k + 1)})
     transport = NetworkTransport(complete(k + 1), placement)
     scheduler.transport = transport
-    metrics = RuntimeMetrics().attach(scheduler, transport)
+    metrics = _instrument(scheduler, transport, profiler)
 
     service = ReplicatedLockService(scheduler, k=k,
                                     strategy=ONE_READ_ALL_WRITE,
@@ -114,7 +127,8 @@ def _run_lock(seed: int, n: int) -> ScenarioRun:
                        headline)
 
 
-def _run_election(seed: int, n: int) -> ScenarioRun:
+def _run_election(seed: int, n: int,
+                  profiler: Any = None) -> ScenarioRun:
     """Ring leader election over a unit-latency ring network."""
     from ..scripts import make_ring_election
 
@@ -122,7 +136,7 @@ def _run_election(seed: int, n: int) -> ScenarioRun:
     placement = {("S", i): ("n", i - 1) for i in range(1, n + 1)}
     transport = NetworkTransport(ring(n), placement)
     scheduler.transport = transport
-    metrics = RuntimeMetrics().attach(scheduler, transport)
+    metrics = _instrument(scheduler, transport, profiler)
 
     # Seed-rotated ids: the winner's position varies with the seed while
     # the winning id stays max(ids), like the plain `demo election`.
@@ -150,11 +164,17 @@ _RUNNERS = {"demo-broadcast": _run_broadcast,
             "demo-election": _run_election}
 
 
-def run_scenario(name: str, seed: int = 0, n: int = 5) -> ScenarioRun:
-    """Run one named scenario with instrumentation attached."""
+def run_scenario(name: str, seed: int = 0, n: int = 5,
+                 profiler: Any = None) -> ScenarioRun:
+    """Run one named scenario with instrumentation attached.
+
+    ``profiler`` (a :class:`~repro.obs.profile.Profiler`) is attached on
+    top of the scenario's metrics sink when given; it observes only, so
+    the run's trace is identical either way.
+    """
     try:
         runner = _RUNNERS[name]
     except KeyError:
         raise ValueError(f"unknown scenario {name!r}; "
                          f"choose from {SCENARIOS}") from None
-    return runner(seed, n)
+    return runner(seed, n, profiler)

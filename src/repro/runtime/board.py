@@ -278,6 +278,20 @@ class RendezvousBoard:
         """Cumulative index-maintenance events processed (0: no index)."""
         return 0
 
+    def introspect(self) -> dict[str, Any]:
+        """Deterministic snapshot of the matcher's internal structure.
+
+        The full-scan board has no index, so only the group/offer census
+        and the lifetime post count are reported; the indexed board
+        extends this with its bucket and pair-set shape.  Used by the
+        profiler's matcher-introspection report — never on a hot path.
+        """
+        offers = sum(len(group.offers) for group in self._groups.values())
+        return {"board": type(self).__name__,
+                "groups": len(self._groups),
+                "offers": offers,
+                "posts": self._post_seq}
+
 
 def resume_values(commit: Commit) -> tuple[Any, Any]:
     """Build the (sender_result, receiver_result) for a committed pair."""

@@ -124,6 +124,27 @@ class IndexedBoard(RendezvousBoard):
     def dirty_events(self) -> int:
         return self._dirty_events
 
+    def introspect(self) -> dict[str, Hashable]:
+        """Structure snapshot: base census plus index bucket shape.
+
+        Bucket counts include the empties deliberately retained by the
+        event handlers (see ``__init__``), so the report also shows how
+        much bucket memory steady-state churn is holding onto.
+        """
+        info = super().introspect()
+        send_depths = [len(bucket) for bucket in self._sends_to.values()]
+        recv_depths = [len(bucket) for bucket in self._recvs_from.values()]
+        info.update(
+            pairs=len(self._pairs),
+            dirty_events=self._dirty_events,
+            send_buckets=len(self._sends_to),
+            recv_buckets=len(self._recvs_from),
+            alias_buckets=len(self._pairs_by_alias),
+            max_send_bucket=max(send_depths, default=0),
+            max_recv_bucket=max(recv_depths, default=0),
+        )
+        return info
+
     # ------------------------------------------------------------------
     # Pair set maintenance
     # ------------------------------------------------------------------

@@ -68,6 +68,40 @@ class Sink:
         durable journal (:mod:`repro.persist`) records and replays.
         """
 
+    def on_phase(self, phase: str, ns: int) -> None:
+        """``ns`` clock units were just spent inside kernel phase ``phase``.
+
+        The phase taxonomy (see DESIGN.md §13): ``dispatch`` (one process
+        step: resume + effect handling), ``match`` (candidate-set queries
+        and match-filter passes), ``commit`` (performing a committed
+        rendezvous, journal time excluded), ``journal`` (the commit-cadence
+        hook, i.e. the durable recorder), ``settle`` (settle-loop overhead
+        and waiter polling, the residual of a settle pass), ``timers``
+        (virtual-clock advances: heap pops and timer actions), and ``run``
+        (one whole ``Scheduler.run``, emitted last — the denominator for
+        percentage-of-wall attribution).  Readings come from the
+        scheduler's ``prof_clock`` (``time.perf_counter_ns`` by default;
+        tests install a deterministic tick counter).  Only emitted while
+        an installed sink overrides this method — an uninstrumented
+        scheduler never reads the clock.
+        """
+
+    def on_settle(self, time: float, commits: int, rounds: int,
+                  queries: int, candidates: int, waiters_polled: int,
+                  index_pairs: int, timer_ops: int) -> None:
+        """One settle pass finished; its work counters, all deterministic.
+
+        ``commits`` rendezvous committed this pass over ``rounds``
+        fixpoint rounds; ``queries`` candidate-set queries returned
+        ``candidates`` matchable pairs in total; ``waiters_polled``
+        condition predicates were evaluated.  ``index_pairs`` is the peak
+        candidate-set depth observed during the pass (the board drains as
+        commits land, so a post-pass sample would always read ~0) and
+        ``timer_ops`` is the scheduler-lifetime cumulative
+        count of timer-heap operations (pushes, fires, cancelled pops) —
+        a gauge, so the last sample is the run total.
+        """
+
 
 class TeeSink(Sink):
     """Fan every callback out to several sinks, in order.
@@ -110,6 +144,31 @@ class TeeSink(Sink):
                     payload: Any) -> None:
         for sink in self.sinks:
             sink.on_decision(time, kind, subject, payload)
+
+    def on_phase(self, phase: str, ns: int) -> None:
+        for sink in self.sinks:
+            sink.on_phase(phase, ns)
+
+    def on_settle(self, time: float, commits: int, rounds: int,
+                  queries: int, candidates: int, waiters_polled: int,
+                  index_pairs: int, timer_ops: int) -> None:
+        for sink in self.sinks:
+            sink.on_settle(time, commits, rounds, queries, candidates,
+                           waiters_polled, index_pairs, timer_ops)
+
+
+def sink_overrides(sink: Sink, name: str) -> bool:
+    """Does ``sink`` actually implement callback ``name``?
+
+    Class-level detection (per-instance monkeypatches are not seen), the
+    basis of the scheduler's capability flags: a hot-path call site only
+    dispatches callbacks the installed sink's class overrides.  A
+    :class:`TeeSink` claims a callback iff any member does, so wrapping a
+    commit-only recorder in a tee does not suddenly arm every hook.
+    """
+    if isinstance(sink, TeeSink):
+        return any(sink_overrides(member, name) for member in sink.sinks)
+    return getattr(type(sink), name) is not getattr(Sink, name)
 
 
 class NullSink(Sink):

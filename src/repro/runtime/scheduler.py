@@ -21,6 +21,7 @@ import random
 import struct
 import zlib
 from collections import deque
+from time import perf_counter_ns
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from ..errors import (DeadlockError, DeliveryFailed, InvalidEffectError,
@@ -33,7 +34,7 @@ from .effects import (TIMED_OUT, TIMED_OUT_BRANCH, AddAlias, Choice, Deadline,
                       Delay, DropAlias, Effect, GetName, GetTime,
                       QueryProcesses, Receive, ReceiveTimeout, Select,
                       SelectResult, Send, Spawn, Trace, WaitUntil)
-from .instrument import NULL_SINK, Sink
+from .instrument import NULL_SINK, Sink, sink_overrides
 from .process import (_FINISHED_STATES, Process, ProcessBody,
                       ProcessState)
 from .tracing import EventKind, Tracer
@@ -216,6 +217,14 @@ class Scheduler:
         self.commit_count = 0
         self._cadence_every = 1
         self._cadence_hook: Callable[[], None] | None = None
+        # Hot-path profiling (armed only while the installed sink
+        # overrides on_phase/on_settle — see the sink setter).  The clock
+        # is swappable so tests can install a deterministic tick counter;
+        # the two accumulators carry timer-heap op counts and the current
+        # commit's journal (cadence-hook) time out to the profiled settle.
+        self.prof_clock: Callable[[], int] = perf_counter_ns
+        self._prof_timer_ops = 0
+        self._prof_journal_ns = 0
 
     def set_commit_cadence(self, every: int,
                            hook: Callable[[], None] | None) -> None:
@@ -254,17 +263,21 @@ class Scheduler:
         sink = sink if sink is not None else NULL_SINK
         self._sink = sink
         armed = bool(sink)
-        cls = type(sink)
-        self._sink_offer = (armed and
-                            cls.on_offer_posted is not Sink.on_offer_posted)
-        self._sink_index = armed and cls.on_index is not Sink.on_index
-        self._sink_commit = armed and cls.on_commit is not Sink.on_commit
-        self._sink_decision = (armed and
-                               cls.on_decision is not Sink.on_decision)
+        self._sink_offer = armed and sink_overrides(sink, "on_offer_posted")
+        self._sink_index = armed and sink_overrides(sink, "on_index")
+        self._sink_commit = armed and sink_overrides(sink, "on_commit")
+        self._sink_decision = armed and sink_overrides(sink, "on_decision")
+        self._sink_phase = armed and sink_overrides(sink, "on_phase")
+        self._sink_settle = armed and sink_overrides(sink, "on_settle")
 
     # ------------------------------------------------------------------
     # Residue introspection (public: soak tests and supervisors use these)
     # ------------------------------------------------------------------
+
+    @property
+    def board(self) -> RendezvousBoard:
+        """The installed rendezvous board (read-only introspection)."""
+        return self._board
 
     @property
     def board_size(self) -> int:
@@ -532,6 +545,19 @@ class Scheduler:
         :class:`ProcessFailure` (with ``fail_fast``) on the first uncaught
         process exception.
         """
+        if not self._sink_phase:
+            return self._run(until)
+        # Profiled entry: the whole run is timed so phase shares have a
+        # denominator; "run" is emitted last (even on deadlock/failure),
+        # which is what report builders key off.
+        clk = self.prof_clock
+        started = clk()
+        try:
+            return self._run(until)
+        finally:
+            self._sink.on_phase("run", clk() - started)
+
+    def _run(self, until: float | None = None) -> RunResult:
         while True:
             if self._first_failure is not None and self.fail_fast:
                 raise self._first_failure
@@ -561,7 +587,13 @@ class Scheduler:
             process = self._ready.popleft()
             if process.state in _FINISHED_STATES:  # inlined Process.finished
                 continue
-            self._step(process)
+            if self._sink_phase:
+                clk = self.prof_clock
+                step_start = clk()
+                self._step(process)
+                self._sink.on_phase("dispatch", clk() - step_start)
+            else:
+                self._step(process)
             # Dirty-set settling: a step that neither posted nor withdrew
             # offers nor moved an alias cannot create a candidate pair,
             # and with no waiters parked there is nothing to poll.  Even
@@ -586,12 +618,28 @@ class Scheduler:
             _, _, handle = heapq.heappop(self._timers)
             handle._in_heap = False
             self._cancelled_in_heap -= 1
+            if self._sink_settle:
+                self._prof_timer_ops += 1
 
     def _advance_clock(self, to_time: float) -> None:
+        if self._sink_phase:
+            clk = self.prof_clock
+            advance_start = clk()
+            try:
+                self._advance_clock_inner(to_time)
+            finally:
+                self._sink.on_phase("timers", clk() - advance_start)
+            return
+        self._advance_clock_inner(to_time)
+
+    def _advance_clock_inner(self, to_time: float) -> None:
         self.now = to_time
+        count_ops = self._sink_settle
         while self._timers and self._timers[0][0] <= self.now:
             _, seq, handle = heapq.heappop(self._timers)
             handle._in_heap = False
+            if count_ops:
+                self._prof_timer_ops += 1
             if handle.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
@@ -608,6 +656,8 @@ class Scheduler:
         handle = TimerHandle(action, scheduler=self, owner=owner)
         heapq.heappush(self._timers, (time, self._timer_seq, handle))
         self._armed_timers += 1
+        if self._sink_settle:
+            self._prof_timer_ops += 1
         if owner is not None:
             self._process_timers.setdefault(owner, set()).add(handle)
         return handle
@@ -877,6 +927,8 @@ class Scheduler:
         nothing else can newly satisfy them; with no waiters parked the
         poll pass is skipped outright.
         """
+        if self._sink_phase:
+            return self._settle_profiled()
         self._board_dirty = False
         board_candidates = self._board.candidates
         owner = self.alias_owner
@@ -909,6 +961,80 @@ class Scheduler:
                         del self._waiters[name]
                         self._make_ready(waiter.process)
                         changed = True
+
+    def _settle_profiled(self) -> None:
+        """The settle loop with phase timers and work counters woven in.
+
+        Identical decision sequence to :meth:`_settle` — same candidate
+        queries, same RNG draws, same commit order — so a profiled run's
+        trace is byte-identical to an unprofiled one.  Phase accounting:
+        ``match`` covers candidate queries plus match-filter passes,
+        ``commit`` the rendezvous commits (minus cadence-hook time, split
+        out as ``journal``), and ``settle`` is this pass's residual —
+        loop bookkeeping, RNG draws, and waiter-predicate polling.
+        """
+        clk = self.prof_clock
+        settle_start = clk()
+        self._prof_journal_ns = 0
+        match_ns = 0
+        commit_ns = 0
+        commits = rounds = queries = candidates_seen = waiters_polled = 0
+        pairs_peak = 0
+        self._board_dirty = False
+        board_candidates = self._board.candidates
+        owner = self.alias_owner
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            while True:
+                mark = clk()
+                candidates = board_candidates(owner)
+                if candidates:
+                    if len(candidates) > pairs_peak:
+                        pairs_peak = len(candidates)
+                    allow = self.match_filter
+                    if allow is not None:
+                        passed = []
+                        for c in candidates:
+                            if allow(c.sender, c.receiver):
+                                passed.append(c)
+                            elif self.match_deadline is not None:
+                                self._arm_match_deadline(c)
+                        candidates = passed
+                match_ns += clk() - mark
+                queries += 1
+                candidates_seen += len(candidates)
+                if not candidates:
+                    break
+                commit = self.rng.choice(candidates)
+                mark = clk()
+                self._commit(commit)
+                commit_ns += clk() - mark
+                commits += 1
+                changed = True
+            if self._waiters:
+                for name in list(self._waiters):
+                    waiter = self._waiters.get(name)
+                    if waiter is None:
+                        continue
+                    waiters_polled += 1
+                    if waiter.predicate():
+                        del self._waiters[name]
+                        self._make_ready(waiter.process)
+                        changed = True
+        sink = self._sink
+        journal_ns = self._prof_journal_ns
+        sink.on_phase("match", match_ns)
+        sink.on_phase("commit", commit_ns - journal_ns)
+        if journal_ns:
+            sink.on_phase("journal", journal_ns)
+        residual = clk() - settle_start - match_ns - commit_ns
+        sink.on_phase("settle", residual if residual > 0 else 0)
+        if self._sink_settle:
+            sink.on_settle(self.now, commits, rounds, queries,
+                           candidates_seen, waiters_polled,
+                           pairs_peak, self._prof_timer_ops)
 
     def _arm_match_deadline(self, commit: board_mod.Commit) -> None:
         """Bound a filter-vetoed candidate pair's wait by ``match_deadline``.
@@ -984,7 +1110,13 @@ class Scheduler:
         self.commit_count += 1
         if (self._cadence_hook is not None
                 and self.commit_count % self._cadence_every == 0):
-            self._cadence_hook()
+            if self._sink_phase:
+                clk = self.prof_clock
+                hook_start = clk()
+                self._cadence_hook()
+                self._prof_journal_ns += clk() - hook_start
+            else:
+                self._cadence_hook()
         if delay > 0:
             self._push_timer(
                 self.now + delay,

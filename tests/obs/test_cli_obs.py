@@ -1,8 +1,11 @@
-"""Tests for the ``trace`` and ``stats`` CLI commands."""
+"""Tests for the ``trace``, ``stats`` and ``profile`` CLI commands."""
 
 import json
+import pathlib
 
 from repro.__main__ import main
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
 
 
 def test_trace_writes_chrome_json(tmp_path, capsys):
@@ -53,8 +56,73 @@ def test_stats_json(capsys):
     assert data["performances"]
 
 
+def test_stats_json_matches_golden_file(capsys):
+    """The metrics JSON is a stable public artifact; a reshape is a
+    breaking change and must be deliberate (regenerate with
+    ``python -m repro stats demo-broadcast --json``)."""
+    assert main(["stats", "demo-broadcast", "--json"]) == 0
+    out = capsys.readouterr().out
+    golden = (GOLDEN / "stats_demo_broadcast.json").read_text()
+    assert out == golden
+
+
 def test_unknown_scenario_is_rejected(capsys):
     import pytest
 
     with pytest.raises(SystemExit):
         main(["trace", "nope"])
+
+
+def test_profile_prints_attribution_summary(capsys):
+    assert main(["profile", "demo-broadcast"]) == 0
+    out = capsys.readouterr().out
+    assert "phase attribution" in out
+    assert "dispatch" in out and "match" in out
+    assert "counters (per commit):" in out
+    assert "matcher: pairs max" in out
+
+
+def test_profile_writes_all_three_exports(tmp_path, capsys):
+    report = tmp_path / "p.json"
+    flame = tmp_path / "p.flame"
+    chrome = tmp_path / "p.trace.json"
+    assert main(["profile", "demo-lock", "--deterministic",
+                 "--json", str(report), "--flame", str(flame),
+                 "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "speedscope" in out and "Perfetto" in out
+    data = json.loads(report.read_text())
+    assert data["profile_version"] == 1
+    assert data["wall"]["clock"] == "deterministic-ticks"
+    for line in flame.read_text().splitlines():
+        stack, _, weight = line.rpartition(" ")
+        assert stack and weight.isdigit()
+    merged = json.loads(chrome.read_text())
+    assert any(e.get("cat") == "profile" for e in merged["traceEvents"])
+
+
+def test_profile_deterministic_json_is_byte_stable(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    for path in (a, b):
+        assert main(["profile", "demo-election", "--seed", "2",
+                     "--deterministic", "--json", str(path)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_profile_diff_explains_regression(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(
+        {"scenario": "s", "per_commit": {"candidates_seen": 2.0},
+         "wall": {"phases": {"match": {"ns": 10, "pct": 10.0}}}}))
+    new.write_text(json.dumps(
+        {"scenario": "s", "per_commit": {"candidates_seen": 40.0},
+         "wall": {"phases": {"match": {"ns": 90, "pct": 60.0}}}}))
+    assert main(["profile", "--diff", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "'match' grew 10.0% -> 60.0%" in out
+
+
+def test_profile_requires_scenario_or_diff(capsys):
+    assert main(["profile"]) == 2
+    assert "scenario is required" in capsys.readouterr().err
