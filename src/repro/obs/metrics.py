@@ -279,9 +279,12 @@ class RuntimeMetrics(Sink):
         self.registry.gauge("board_size").set(board_size)
         self.registry.gauge("waiter_depth").set(waiter_count)
 
-    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+    def on_index(self, time: float, pairs: int, dirty_events: int,
+                 cache_hits: int, swept_pairs: int) -> None:
         self.registry.gauge("match_index_pairs").set(pairs)
         self.registry.gauge("match_index_dirty_events").set(dirty_events)
+        self.registry.gauge("match_cache_hits").set(cache_hits)
+        self.registry.gauge("match_swept_pairs").set(swept_pairs)
 
     def on_message(self, time: float, src: Any, dst: Any,
                    latency: float) -> None:

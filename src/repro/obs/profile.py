@@ -91,6 +91,8 @@ class Profiler(Sink):
         self.index_pairs_last = 0
         self.index_pairs_max = 0
         self.index_dirty_events = 0    # cumulative gauge: last sample wins
+        self.cache_hits = 0            # cumulative gauge: last sample wins
+        self.swept_pairs = 0           # cumulative gauge: last sample wins
         self.board_depth_max = 0
         self.waiter_depth_max = 0
         self._scheduler: Scheduler | None = None
@@ -135,8 +137,11 @@ class Profiler(Sink):
         if waiter_count > self.waiter_depth_max:
             self.waiter_depth_max = waiter_count
 
-    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+    def on_index(self, time: float, pairs: int, dirty_events: int,
+                 cache_hits: int, swept_pairs: int) -> None:
         self.index_dirty_events = dirty_events
+        self.cache_hits = cache_hits
+        self.swept_pairs = swept_pairs
         if pairs > self.index_pairs_max:
             self.index_pairs_max = pairs
 
@@ -154,6 +159,11 @@ class Profiler(Sink):
             candidates_per_query=_rate(self.candidates_seen,
                                        self.candidate_queries),
         )
+        # Board introspection already carries the cache counters for the
+        # indexed board; fall back to the on_index samples when the
+        # profiler outlived the scheduler (or the board predates them).
+        matcher.setdefault("cache_hits", self.cache_hits)
+        matcher.setdefault("swept_pairs", self.swept_pairs)
         counters = {
             "settles": self.settles,
             "settle_rounds": self.settle_rounds,
@@ -331,6 +341,11 @@ class ProfileReport:
             f"dirty events {self.matcher.get('index_dirty_events', 0)}, "
             f"candidates/query "
             f"{self.matcher.get('candidates_per_query', 0.0)}")
+        lines.append(
+            f"repost cache: hits {self.matcher.get('cache_hits', 0)}, "
+            f"misses {self.matcher.get('cache_misses', 0)}, "
+            f"resumed pairs {self.matcher.get('resumed_pairs', 0)}, "
+            f"swept pairs {self.matcher.get('swept_pairs', 0)}")
         return lines
 
 

@@ -61,6 +61,15 @@ class OfferGroup:
     # is defined by it: groups posted earlier come first, exactly like
     # insertion-ordered iteration over the full-scan board's group dict.
     seq: int = 0
+    # Whether the group is currently on a board.  The indexed board's
+    # withdrawn-group cache keeps pairs referencing suspended groups
+    # resident; this flag is how visibility is derived per pair.
+    posted: bool = False
+    # Cache-validity stamp at suspension time, written by the indexed
+    # board's withdraw (a slot here instead of a tuple in the cache dict
+    # keeps the per-rendezvous suspension bookkeeping allocation-free);
+    # -1 marks an entry force-invalidated by an alias claim/release.
+    cache_gen: int = 0
 
     def describe(self) -> str:
         """Human-readable account of what the process is waiting for."""
@@ -148,6 +157,10 @@ class RendezvousBoard:
     events that can change matchability.
     """
 
+    #: Whether the scheduler may drain via ``candidate_count``/``pick``
+    #: instead of materializing :meth:`candidates` (indexed board only).
+    fast_pick = False
+
     def __init__(self) -> None:
         self._groups: dict[Hashable, OfferGroup] = {}
         self._post_seq = 0
@@ -163,14 +176,23 @@ class RendezvousBoard:
         """Pending offer groups, keyed by blocked process name."""
         return self._groups
 
-    def post(self, group: OfferGroup) -> None:
-        """Register a blocked process's offers."""
+    def post(self, group: OfferGroup) -> OfferGroup:
+        """Register a blocked process's offers.
+
+        Returns the group actually on the board.  That is ``group`` here,
+        but the indexed board's re-post cache may adopt an equivalent
+        previously-suspended group instead — callers must use the returned
+        object for anything later compared by identity (expiry timers,
+        withdrawal checks).
+        """
         name = group.process.name
         if name in self._groups:
             raise RuntimeError(f"process {name!r} already has pending offers")
         self._post_seq += 1
         group.seq = self._post_seq
+        group.posted = True
         self._groups[name] = group
+        return group
 
     def withdraw(self, process_name: Hashable) -> OfferGroup | None:
         """Remove and return the offers of ``process_name``, if any.
@@ -179,8 +201,10 @@ class RendezvousBoard:
         can never fire for an offer that already left the board.
         """
         group = self._groups.pop(process_name, None)
-        if group is not None and group.expiry is not None:
-            group.expiry.cancel()
+        if group is not None:
+            group.posted = False
+            if group.expiry is not None:
+                group.expiry.cancel()
         return group
 
     def _matches(self, send: Offer, recv: Offer,
@@ -276,6 +300,16 @@ class RendezvousBoard:
     @property
     def dirty_events(self) -> int:
         """Cumulative index-maintenance events processed (0: no index)."""
+        return 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Re-post pair-cache hits (0: no index, hence no cache)."""
+        return 0
+
+    @property
+    def swept_pairs(self) -> int:
+        """Suspended pairs torn down by stale-cache sweeps (0: no index)."""
         return 0
 
     def introspect(self) -> dict[str, Any]:

@@ -20,6 +20,55 @@ and is simply skipped at drain time, so a heal re-enables it at the next
 settle with no re-enqueue bookkeeping — identical to the oracle, which
 rediscovers the pair on its next scan.
 
+Incremental pair maintenance across the repost/withdraw cycle
+-------------------------------------------------------------
+A committed rendezvous withdraws both parties, and the survivor of a
+select typically re-posts an *equivalent* offer group one step later (the
+fan-in hub re-arming its select, a timeout loop retrying).  Tearing down
+N live pairs at withdraw and re-deriving them at re-post makes every
+commit O(live pairs) — the fan-in O(N²) cliff.  The board therefore
+treats withdraw as *suspension*:
+
+* A withdrawn group's offers leave the routing buckets (so discovery and
+  ``candidates_for`` cannot see them), but the pairs in which the group
+  is the **receiver** stay resident, merely invisible, and the group is
+  parked in a re-post cache keyed by process name.  Pairs in which the
+  group is the **sender** are dropped eagerly — their sort keys embed the
+  sender's post stamp, which a re-post renews.
+* :meth:`post` consults the cache: if the new group is offer-equivalent
+  to the suspended one and the group's *cache stamp* is unchanged since
+  suspension, the suspended group is adopted wholesale: its receive-side
+  pairs become visible again untouched (their keys embed only the
+  senders' stamps, which did not move), and only its send offers re-run
+  discovery.  Any other event ordering misses the cache and sweeps the
+  stale pairs before a from-scratch discovery.
+* The stamp is deliberately *precise*, not a single global generation:
+  it is ``_claim_gen`` (bumped by every alias claim — rare, and the one
+  event that can silently re-route an existing posted send into a cached
+  receive's match set) plus ``_target_act[name]`` — a per-process
+  counter bumped each time a send offer enters the routing buckets whose
+  addressed alias the process owns (send discovery resolves that owner
+  anyway, so the bump is one dict update on an already-fetched name).
+  Both terms are monotonic non-decreasing, so the stamp is unchanged iff
+  no claim happened and no send arrived that a fresh discovery for this
+  receiver could see.  Events that involve only *other* processes (a
+  fan-in producer dying, a star hub re-targeting a different leaf) leave
+  the stamp alone, which is what lets hub/leaf re-posts keep hitting
+  under concurrent traffic.  A release of one of the suspended process's
+  *own* aliases invalidates its entry directly (the stamp is forced to
+  ``-1``, which no live stamp equals), and a claim of one is covered by
+  the global claim bump — so the owned-alias set is pinned between
+  suspension and hit, making the comparison sound.
+* Alias claims and releases keep working on suspended pairs directly —
+  they are still filed under ``_pairs_by_alias`` — so a cache hit can
+  never resurrect a pair whose routing died while it was suspended.
+
+The invariant that makes the arithmetic exact: **every resident pair's
+sender is posted** (send-side pairs drop at the sender's withdraw), so a
+resident pair is invisible if and only if its receiver is suspended, and
+``len(_pairs) - _suspended_pairs`` is the exact visible-candidate count
+in O(1).
+
 Determinism argument (the candidate ordering invariant)
 -------------------------------------------------------
 The scheduler's seeded RNG picks from the candidate *list*, so the list
@@ -31,27 +80,31 @@ re-posting moves a group to the back of the dict *and* gives it a fresh,
 larger stamp).  Each pair is therefore keyed by the integer triple
 ``(send.group.seq, send.index, recv.index)`` — unique, because a send
 offer's target group is single-valued under the alias-owner map — and
-:meth:`candidates` returns the pairs sorted by that key.  Sorting the
-live pair set hence reproduces the full scan's output byte for byte,
-which `tests/runtime/test_board_oracle.py` verifies differentially over
+the board maintains ``_order``, a sorted list of those keys, by bisect
+insertion and deletion; no per-query sort ever runs.  A cache hit
+preserves the invariant for free: the resumed group's receive-side pair
+keys embed only sender stamps, and a receiver's position in the dict
+does not order pairs.  Sorting-by-maintenance hence reproduces the full
+scan's output byte for byte, which ``tests/runtime/test_board_oracle.py``
+and ``tests/runtime/test_board_repost.py`` verify differentially over
 randomized workloads.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Hashable, TYPE_CHECKING
 
 from .board import Commit, Offer, OfferGroup, RendezvousBoard
 
 if TYPE_CHECKING:  # pragma: no cover
+    from random import Random
+
     from .process import Process
 
 #: Sort/dict key of one candidate pair: (send group seq, send index,
 #: recv index) — see the module docstring's ordering invariant.
 PairKey = tuple[int, int, int]
-
-#: Sentinel for "no alias to unregister" in the drop path.
-_NO_ALIAS = object()
 
 
 class IndexedBoard(RendezvousBoard):
@@ -65,6 +118,11 @@ class IndexedBoard(RendezvousBoard):
     must be the bound mapping.
     """
 
+    #: The scheduler's settle loop may use :attr:`candidate_count` and
+    #: :meth:`pick` instead of materializing :meth:`candidates` when no
+    #: match filter is installed.
+    fast_pick = True
+
     def __init__(self, owner: dict[Hashable, "Process"] | None = None):
         super().__init__()
         self._owner: dict[Hashable, "Process"] = owner if owner is not None \
@@ -72,15 +130,36 @@ class IndexedBoard(RendezvousBoard):
         # Offer buckets, keyed by the alias an offer *addresses*.
         self._sends_to: dict[Hashable, dict[Offer, None]] = {}
         self._recvs_from: dict[Hashable, dict[Offer, None]] = {}
-        # The live candidate set and its removal registries.  Each pair
-        # is filed under both participating process names (so a
-        # withdrawal drops exactly the affected pairs in O(affected))
-        # and under every alias its validity routes through (so an alias
-        # release invalidates exactly the routed pairs).
+        # The resident pair set and its removal registries.  Each pair is
+        # filed under its sender's and receiver's process names in two
+        # side-partitioned registries (so a withdrawal drops exactly the
+        # sender-side pairs and suspends the receiver-side ones, both in
+        # O(affected)) and under every alias its validity routes through
+        # (so an alias release invalidates exactly the routed pairs).
         self._pairs: dict[PairKey, Commit] = {}
-        self._pairs_by_group: dict[Hashable, dict[PairKey, None]] = {}
+        self._send_pairs: dict[Hashable, dict[PairKey, None]] = {}
+        self._recv_pairs: dict[Hashable, dict[PairKey, None]] = {}
         self._pairs_by_alias: dict[Hashable, set[PairKey]] = {}
+        # Sorted mirror of _pairs' keys: the maintained candidate order.
+        self._order: list[PairKey] = []
+        # Re-post cache: suspended groups keyed by process name, each
+        # stamped (``cache_gen`` slot) with its cache stamp at
+        # suspension.  See the module docstring.
+        self._suspended: dict[Hashable, OfferGroup] = {}
+        # Resident pairs whose receiver is currently suspended (each such
+        # pair counted exactly once — see the visibility invariant).
+        self._suspended_pairs = 0
+        # The cache-stamp ingredients (module docstring): a global alias
+        # claim counter plus per-target-process send-arrival counters.
+        # Removal events (withdrawals, releases) edit resident pairs
+        # directly and need no counter.
+        self._claim_gen = 0
+        self._target_act: dict[Hashable, int] = {}
         self._dirty_events = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._resumed_pairs = 0   # pairs reused across cache-hit re-posts
+        self._swept_pairs = 0     # suspended pairs torn down on miss/compact
         # Buckets are deliberately kept when they empty: rendezvous churn
         # reuses the same alias/name keys over and over, and allocating a
         # fresh container per round both costs time and — because dicts
@@ -102,21 +181,45 @@ class IndexedBoard(RendezvousBoard):
         # Pairs blocked by a match filter stay in the set, so this can
         # answer True for a settle that then drains nothing — never the
         # reverse, which is what correctness needs.
-        return bool(self._pairs)
+        return len(self._pairs) > self._suspended_pairs
 
     @property
     def index_size(self) -> int:
+        """Resident pairs, the suspended re-post cache included."""
         return len(self._pairs)
 
+    @property
+    def candidate_count(self) -> int:
+        """Exact number of currently matchable pairs, in O(1)."""
+        return len(self._pairs) - self._suspended_pairs
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits
+
+    @property
+    def swept_pairs(self) -> int:
+        return self._swept_pairs
+
     def compact(self) -> None:
-        """Drop empty index buckets.
+        """Sweep the re-post cache and drop empty index buckets.
 
         The event handlers leave empty buckets in place (see ``__init__``)
-        so steady-state churn never reallocates them; long-running hosts
-        reclaim the memory here, e.g. via ``Scheduler.reap``.
+        and withdrawn groups parked in the re-post cache; long-running
+        hosts reclaim both here, e.g. via ``Scheduler.reap``.  Sweeping a
+        cache entry tears down its suspended pairs too — an orphaned
+        suspended pair would collide with a later rediscovery.
         """
+        for old in list(self._suspended.values()):
+            self._sweep_stale(old)
+        self._suspended.clear()
+        # With no suspended entries left, no outstanding stamp references
+        # the send-arrival counters — safe to reset them (they must never
+        # be trimmed while a stamped entry could compare against them).
+        self._target_act.clear()
         for registry in (self._sends_to, self._recvs_from,
-                         self._pairs_by_group, self._pairs_by_alias):
+                         self._send_pairs, self._recv_pairs,
+                         self._pairs_by_alias):
             for key in [k for k, bucket in registry.items() if not bucket]:
                 del registry[key]
 
@@ -136,6 +239,13 @@ class IndexedBoard(RendezvousBoard):
         recv_depths = [len(bucket) for bucket in self._recvs_from.values()]
         info.update(
             pairs=len(self._pairs),
+            visible_pairs=len(self._pairs) - self._suspended_pairs,
+            suspended_pairs=self._suspended_pairs,
+            suspended_groups=len(self._suspended),
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            resumed_pairs=self._resumed_pairs,
+            swept_pairs=self._swept_pairs,
             dirty_events=self._dirty_events,
             send_buckets=len(self._sends_to),
             recv_buckets=len(self._recvs_from),
@@ -159,13 +269,25 @@ class IndexedBoard(RendezvousBoard):
         if key in pairs:
             return
         pairs[key] = Commit(send, recv)
-        by_group = self._pairs_by_group
-        for name in (send.group.process.name, recv.group.process.name):
-            bucket = by_group.get(name)
-            if bucket is None:
-                by_group[name] = {key: None}
-            else:
-                bucket[key] = None
+        order = self._order
+        if not order or key > order[-1]:
+            order.append(key)
+        else:
+            insort(order, key)
+        registry = self._send_pairs
+        name = send.group.process.name
+        bucket = registry.get(name)
+        if bucket is None:
+            registry[name] = {key: None}
+        else:
+            bucket[key] = None
+        registry = self._recv_pairs
+        name = recv.group.process.name
+        bucket = registry.get(name)
+        if bucket is None:
+            registry[name] = {key: None}
+        else:
+            bucket[key] = None
         by_alias = self._pairs_by_alias
         bucket = by_alias.get(send.partner_alias)
         if bucket is None:
@@ -183,20 +305,29 @@ class IndexedBoard(RendezvousBoard):
         commit = self._pairs.pop(key, None)
         if commit is None:
             return
-        by_group = self._pairs_by_group
-        for name in (commit.send.group.process.name,
-                     commit.recv.group.process.name):
-            bucket = by_group.get(name)
-            if bucket is not None:
-                bucket.pop(key, None)
-        send_alias = commit.send.partner_alias
-        recv_alias = commit.recv.partner_alias
-        if recv_alias is None or recv_alias == send_alias:
-            recv_alias = _NO_ALIAS
-        for alias in (send_alias, recv_alias):
-            if alias is _NO_ALIAS:
-                continue
-            bucket = self._pairs_by_alias.get(alias)
+        send = commit.send
+        recv = commit.recv
+        if not recv.group.posted:
+            self._suspended_pairs -= 1
+        order = self._order
+        if order[-1] == key:
+            order.pop()
+        else:
+            del order[bisect_left(order, key)]
+        bucket = self._send_pairs.get(send.group.process.name)
+        if bucket is not None:
+            bucket.pop(key, None)
+        bucket = self._recv_pairs.get(recv.group.process.name)
+        if bucket is not None:
+            bucket.pop(key, None)
+        by_alias = self._pairs_by_alias
+        send_alias = send.partner_alias
+        bucket = by_alias.get(send_alias)
+        if bucket is not None:
+            bucket.discard(key)
+        recv_alias = recv.partner_alias
+        if recv_alias is not None and recv_alias != send_alias:
+            bucket = by_alias.get(recv_alias)
             if bucket is not None:
                 bucket.discard(key)
 
@@ -212,7 +343,13 @@ class IndexedBoard(RendezvousBoard):
         target = owner.get(send.partner_alias)
         if target is None:
             return
-        peer_group = self._groups.get(target.name)
+        # The cache-stamp bump (module docstring): this send is now
+        # visible to ``target``, whose suspended entry — if it has one,
+        # or ever gets one before this send leaves — must not hit.
+        act = self._target_act
+        name = target.name
+        act[name] = act.get(name, 0) + 1
+        peer_group = self._groups.get(name)
         if peer_group is None or peer_group is send.group:
             return
         sender = send.group.process
@@ -246,17 +383,118 @@ class IndexedBoard(RendezvousBoard):
                     self._add_pair(send, recv)
 
     # ------------------------------------------------------------------
+    # The re-post cache
+    # ------------------------------------------------------------------
+
+    # The cache-validity stamp for a process is ``_claim_gen +
+    # _target_act.get(name, 0)``, computed inline at the two hot call
+    # sites (withdraw stamps it, post compares it).  Both terms are
+    # monotonic non-decreasing, and a release of an owned alias
+    # force-invalidates the cache entry while a claim bumps the global
+    # term — so an unchanged stamp proves no claim happened and no new
+    # send a fresh discovery for the process could see arrived.
+
+    @staticmethod
+    def _equivalent(old: OfferGroup, new: OfferGroup) -> bool:
+        """Same process, same shape: matching-relevant fields all equal.
+
+        Send payloads are deliberately excluded — they never influence
+        *whether* a pair matches — and refreshed at resume time instead.
+        """
+        if old.process is not new.process or old.plain is not new.plain:
+            return False
+        mine = old.offers
+        theirs = new.offers
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if (a.is_send != b.is_send or a.tag != b.tag
+                    or a.partner_alias != b.partner_alias
+                    or a.with_sender != b.with_sender
+                    or a.as_alias != b.as_alias):
+                return False
+        return True
+
+    def _sweep_stale(self, old: OfferGroup) -> None:
+        """Tear down a suspended group's cached receive-side pairs."""
+        bucket = self._recv_pairs.get(old.process.name)
+        if bucket:
+            keys = list(bucket)
+            self._swept_pairs += len(keys)
+            for key in keys:
+                self._drop_pair(key)
+
+    def _resume(self, old: OfferGroup, new: OfferGroup) -> OfferGroup:
+        """Adopt a suspended group wholesale on a cache hit.
+
+        The cached receive-side pairs become visible again with zero
+        per-pair work: visibility is derived from ``recv.group.posted``,
+        their sort keys embed only sender stamps (unchanged), and their
+        Commit objects still reference these very offer objects.  Send
+        offers re-run discovery — their pair keys embed the fresh post
+        stamp, exactly as the oracle re-orders a re-posted sender.
+        """
+        name = old.process.name
+        self._dirty_events += 1
+        self._post_seq += 1
+        old.seq = self._post_seq
+        old.posted = True
+        old.expiry = None
+        self._groups[name] = old
+        cached = self._recv_pairs.get(name)
+        if cached:
+            self._suspended_pairs -= len(cached)
+            self._resumed_pairs += len(cached)
+        sends_to = self._sends_to
+        recvs_from = self._recvs_from
+        for mine, fresh in zip(old.offers, new.offers):
+            alias = mine.partner_alias
+            if mine.is_send:
+                mine.value = fresh.value
+                bucket = sends_to.get(alias)
+                if bucket is None:
+                    sends_to[alias] = {mine: None}
+                else:
+                    bucket[mine] = None
+                self._discover_for_send(mine)
+            elif alias is not None:
+                bucket = recvs_from.get(alias)
+                if bucket is None:
+                    recvs_from[alias] = {mine: None}
+                else:
+                    bucket[mine] = None
+        return old
+
+    # ------------------------------------------------------------------
     # Board events
     # ------------------------------------------------------------------
 
-    def post(self, group: OfferGroup) -> None:
+    def post(self, group: OfferGroup) -> OfferGroup:
+        """Register a blocked process's offers; returns the board's group.
+
+        The returned group is the one actually on the board: ``group``
+        itself, or — on a re-post cache hit — the adopted suspended group
+        (offer payloads refreshed from ``group``).  Callers must use the
+        returned object for anything compared by identity later (expiry
+        timers, withdrawal checks).
+        """
         # Base-class post, inlined (this runs twice per rendezvous).
         name = group.process.name
         groups = self._groups
         if name in groups:
             raise RuntimeError(f"process {name!r} already has pending offers")
+        old = self._suspended.pop(name, None)
+        if old is not None:
+            if old.cache_gen == self._claim_gen \
+                    + self._target_act.get(name, 0) \
+                    and self._equivalent(old, group):
+                self._cache_hits += 1
+                return self._resume(old, group)
+            self._cache_misses += 1
+            self._sweep_stale(old)
         self._post_seq += 1
         group.seq = self._post_seq
+        group.posted = True
         groups[name] = group
         self._dirty_events += 1
         sends_to = self._sends_to
@@ -265,8 +503,8 @@ class IndexedBoard(RendezvousBoard):
         # never pair with each other (same process), so discovering offer
         # i before offer i+1 is bucketed cannot miss or duplicate a pair.
         for offer in group.offers:
+            alias = offer.partner_alias
             if offer.is_send:
-                alias = offer.partner_alias
                 bucket = sends_to.get(alias)
                 if bucket is None:
                     sends_to[alias] = {offer: None}
@@ -274,7 +512,6 @@ class IndexedBoard(RendezvousBoard):
                     bucket[offer] = None
                 self._discover_for_send(offer)
             else:
-                alias = offer.partner_alias
                 if alias is not None:
                     bucket = recvs_from.get(alias)
                     if bucket is None:
@@ -282,15 +519,22 @@ class IndexedBoard(RendezvousBoard):
                     else:
                         bucket[offer] = None
                 self._discover_for_recv(offer)
+        return group
 
     def withdraw(self, process_name: Hashable) -> OfferGroup | None:
         # Base-class withdraw, inlined (this runs twice per rendezvous).
+        # Suspension, not teardown: offers leave the routing buckets and
+        # sender-side pairs drop (their keys would re-stamp anyway), but
+        # receive-side pairs stay resident — invisible until the group
+        # either resumes through the re-post cache or its pairs die of
+        # their senders' withdrawals / alias releases / a stale-miss sweep.
         group = self._groups.pop(process_name, None)
         if group is None:
             return None
         if group.expiry is not None:
             group.expiry.cancel()
         self._dirty_events += 1
+        group.posted = False
         sends_to = self._sends_to
         recvs_from = self._recvs_from
         for offer in group.offers:
@@ -303,10 +547,16 @@ class IndexedBoard(RendezvousBoard):
                 bucket = recvs_from.get(alias)
                 if bucket is not None:
                     bucket.pop(offer, None)
-        keys = self._pairs_by_group.get(process_name)
-        if keys:
-            for key in list(keys):
+        send_bucket = self._send_pairs.get(process_name)
+        if send_bucket:
+            for key in list(send_bucket):
                 self._drop_pair(key)
+        recv_bucket = self._recv_pairs.get(process_name)
+        if recv_bucket:
+            self._suspended_pairs += len(recv_bucket)
+        group.cache_gen = self._claim_gen \
+            + self._target_act.get(process_name, 0)
+        self._suspended[process_name] = group
         return group
 
     def on_alias_claimed(self, alias: Hashable, process: "Process") -> None:
@@ -314,9 +564,16 @@ class IndexedBoard(RendezvousBoard):
 
         Claiming can only *add* matches: sends addressed to ``alias`` now
         reach ``process``'s posted receives, and receives naming ``alias``
-        as their source now accept ``process``'s posted sends.
+        as their source now accept ``process``'s posted sends.  A claim
+        bumps ``_claim_gen`` — it can re-route a posted send into a
+        suspended receiver's match set without touching any send-arrival
+        counter.  The bump also covers the claimer's own cache entry:
+        every stamp term is non-negative and non-decreasing, so growing
+        the owned-alias set under a strictly larger claim counter can
+        never reproduce the suspension-time stamp.
         """
         self._dirty_events += 1
+        self._claim_gen += 1
         peer_group = self._groups.get(process.name)
         if peer_group is None:
             return
@@ -335,8 +592,20 @@ class IndexedBoard(RendezvousBoard):
                     self._add_pair(send, recv)
 
     def on_alias_released(self, alias: Hashable, process: "Process") -> None:
-        """Invalidate every pair whose validity routes through ``alias``."""
+        """Invalidate every pair whose validity routes through ``alias``.
+
+        Suspended pairs are resident in the alias registry too, so a
+        release reaches into the re-post cache exactly as it reaches the
+        visible set — which is what makes cache hits provably safe.  The
+        former owner's own cache entry is force-invalidated (its
+        owned-alias set shrank, which the stamp sum cannot express);
+        everyone else's stamps are untouched, so e.g. a fan-in hub keeps
+        hitting its cache across producer deaths.
+        """
         self._dirty_events += 1
+        entry = self._suspended.get(process.name)
+        if entry is not None:
+            entry.cache_gen = -1
         for key in list(self._pairs_by_alias.get(alias, ())):
             self._drop_pair(key)
 
@@ -345,13 +614,34 @@ class IndexedBoard(RendezvousBoard):
     # ------------------------------------------------------------------
 
     def candidates(self, owner: dict[Hashable, "Process"]) -> list[Commit]:
-        """The live pair set, in full-scan (post/branch) order."""
+        """The visible pair set, in full-scan (post/branch) order."""
         pairs = self._pairs
-        if not pairs:
+        if len(pairs) == self._suspended_pairs:
             return []
-        if len(pairs) == 1:
-            return list(pairs.values())
-        return [pairs[key] for key in sorted(pairs)]
+        if not self._suspended_pairs:
+            return [pairs[key] for key in self._order]
+        return [commit for key in self._order
+                if (commit := pairs[key]).recv.group.posted]
+
+    def pick(self, rng: "Random") -> Commit | None:
+        """Draw one candidate exactly as ``rng.choice(candidates())`` would.
+
+        The fast path indexes the maintained order directly — no list is
+        built, no sort runs — and consumes the identical RNG draw
+        (``choice`` only reads ``len`` and one item), so a run is
+        byte-identical whichever path executed.  Returns ``None`` with no
+        RNG consumption when no pair is visible, mirroring the settle
+        loop's no-candidates exit.
+        """
+        pairs = self._pairs
+        suspended = self._suspended_pairs
+        if len(pairs) == suspended:
+            return None
+        if not suspended:
+            return pairs[rng.choice(self._order)]
+        visible = [commit for key in self._order
+                   if (commit := pairs[key]).recv.group.posted]
+        return rng.choice(visible)
 
     def candidates_for(self, group: OfferGroup,
                        owner: dict[Hashable, "Process"]) -> list[Commit]:

@@ -43,13 +43,17 @@ class Sink:
                   board_size: int, waiter_count: int) -> None:
         """A rendezvous committed; depths are sampled after the removal."""
 
-    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+    def on_index(self, time: float, pairs: int, dirty_events: int,
+                 cache_hits: int, swept_pairs: int) -> None:
         """Matcher-index depth sample, taken at each commit.
 
-        ``pairs`` is the number of live candidate pairs the incremental
-        board holds; ``dirty_events`` the cumulative count of index
-        maintenance events (posts, withdrawals, alias claims/releases).
-        Both are 0 when the scheduler runs the full-scan oracle board.
+        ``pairs`` is the number of resident candidate pairs the
+        incremental board holds (the suspended re-post cache included);
+        ``dirty_events`` the cumulative count of index maintenance events
+        (posts, withdrawals, alias claims/releases); ``cache_hits`` the
+        cumulative re-post pair-cache hits and ``swept_pairs`` the
+        cumulative suspended pairs torn down by stale-cache sweeps.  All
+        are 0 when the scheduler runs the full-scan oracle board.
         """
 
     def on_message(self, time: float, src: Any, dst: Any,
@@ -131,9 +135,11 @@ class TeeSink(Sink):
         for sink in self.sinks:
             sink.on_commit(time, sender, receiver, board_size, waiter_count)
 
-    def on_index(self, time: float, pairs: int, dirty_events: int) -> None:
+    def on_index(self, time: float, pairs: int, dirty_events: int,
+                 cache_hits: int, swept_pairs: int) -> None:
         for sink in self.sinks:
-            sink.on_index(time, pairs, dirty_events)
+            sink.on_index(time, pairs, dirty_events, cache_hits,
+                          swept_pairs)
 
     def on_message(self, time: float, src: Any, dst: Any,
                    latency: float) -> None:

@@ -166,6 +166,23 @@ class Scheduler:
         the reference full scan (differential testing, debugging).
     """
 
+    # Slot-based records: the scheduler is allocated once but *read* on
+    # every hot-path operation, and slot loads skip the instance-dict
+    # lookup.  Subclasses (the frozen benchmark baselines) may still add
+    # ad-hoc attributes — without their own __slots__ they get a dict.
+    __slots__ = (
+        "seed", "rng", "tracer", "max_steps", "fail_fast", "transport",
+        "match_filter", "match_deadline", "now", "total_steps",
+        "processes", "alias_owner", "_ready", "_board", "_waiters",
+        "_timers", "_timer_seq", "_armed_timers", "_cancelled_in_heap",
+        "_process_timers", "_reaped_results", "_reaped_failures",
+        "_reaped_killed", "_first_failure", "_kill_listeners",
+        "_board_dirty", "commit_count", "_cadence_every", "_cadence_hook",
+        "prof_clock", "_prof_timer_ops", "_prof_journal_ns", "_sink",
+        "_sink_offer", "_sink_index", "_sink_commit", "_sink_decision",
+        "_sink_phase", "_sink_settle",
+    )
+
     def __init__(self, seed: int = 0, tracer: Tracer | None = None,
                  max_steps: int = 1_000_000, fail_fast: bool = True,
                  transport: Transport | None = None,
@@ -787,8 +804,13 @@ class Scheduler:
         group, which cancels the timer.
         """
         process.state = ProcessState.BLOCKED
+        # Adopt the board's group: the indexed board's re-post cache may
+        # return a resumed equivalent group instead of ``group``, and the
+        # blocked-reason closure and expiry timer below must reference
+        # the object actually on the board (the stale-timer guard
+        # compares by identity).
+        group = self._board.post(group)
         process._blocked_reason = group.describe  # rendered lazily on read
-        self._board.post(group)
         self._board_dirty = True
         if self._sink_offer:
             self._sink.on_offer_posted(self.now, process.name)
@@ -930,7 +952,39 @@ class Scheduler:
         if self._sink_phase:
             return self._settle_profiled()
         self._board_dirty = False
-        board_candidates = self._board.candidates
+        board = self._board
+        if self.match_filter is None and board.fast_pick:
+            # Fast drain: the indexed board answers emptiness in O(1) and
+            # draws the committed pair straight from its maintained order
+            # without materializing (or re-sorting) a candidate list.
+            # ``pick`` consumes the identical RNG draw ``rng.choice`` on
+            # the full candidate list would, so the decision sequence —
+            # and therefore the trace — is unchanged.
+            rng = self.rng
+            pick = board.pick
+            waiters = self._waiters
+            while True:
+                while (commit := pick(rng)) is not None:
+                    self._commit(commit)
+                # Commits only enqueue ready processes — no user code runs
+                # inside the drain — so with no waiters parked the board
+                # cannot refill and one drain pass is the whole fixpoint.
+                # (An empty pick consumes no RNG, so looping back after
+                # waiter wakes stays trace-identical to the legacy rounds.)
+                if not waiters:
+                    return
+                changed = False
+                for name in list(waiters):
+                    waiter = waiters.get(name)
+                    if waiter is None:
+                        continue
+                    if waiter.predicate():
+                        del waiters[name]
+                        self._make_ready(waiter.process)
+                        changed = True
+                if not changed:
+                    return
+        board_candidates = board.candidates
         owner = self.alias_owner
         changed = True
         while changed:
@@ -972,6 +1026,12 @@ class Scheduler:
         ``commit`` the rendezvous commits (minus cadence-hook time, split
         out as ``journal``), and ``settle`` is this pass's residual —
         loop bookkeeping, RNG draws, and waiter-predicate polling.
+
+        On the indexed board's fast-pick path, ``match`` instead covers
+        the O(1) emptiness check plus the pick (which subsumes the RNG
+        draw the legacy path books under ``settle``) — the pick *is* the
+        candidate query there, so the taxonomy still slices at the same
+        semantic joints: deciding what can commit vs performing it.
         """
         clk = self.prof_clock
         settle_start = clk()
@@ -981,7 +1041,55 @@ class Scheduler:
         commits = rounds = queries = candidates_seen = waiters_polled = 0
         pairs_peak = 0
         self._board_dirty = False
-        board_candidates = self._board.candidates
+        board = self._board
+        if self.match_filter is None and board.fast_pick:
+            rng = self.rng
+            pick = board.pick
+            waiters = self._waiters
+            draining = True
+            while draining:
+                draining = False
+                rounds += 1
+                while True:
+                    mark = clk()
+                    count = board.candidate_count
+                    commit = pick(rng) if count else None
+                    match_ns += clk() - mark
+                    queries += 1
+                    candidates_seen += count
+                    if count > pairs_peak:
+                        pairs_peak = count
+                    if commit is None:
+                        break
+                    mark = clk()
+                    self._commit(commit)
+                    commit_ns += clk() - mark
+                    commits += 1
+                if not waiters:
+                    break
+                for name in list(waiters):
+                    waiter = waiters.get(name)
+                    if waiter is None:
+                        continue
+                    waiters_polled += 1
+                    if waiter.predicate():
+                        del waiters[name]
+                        self._make_ready(waiter.process)
+                        draining = True
+            sink = self._sink
+            journal_ns = self._prof_journal_ns
+            sink.on_phase("match", match_ns)
+            sink.on_phase("commit", commit_ns - journal_ns)
+            if journal_ns:
+                sink.on_phase("journal", journal_ns)
+            residual = clk() - settle_start - match_ns - commit_ns
+            sink.on_phase("settle", residual if residual > 0 else 0)
+            if self._sink_settle:
+                sink.on_settle(self.now, commits, rounds, queries,
+                               candidates_seen, waiters_polled,
+                               pairs_peak, self._prof_timer_ops)
+            return
+        board_candidates = board.candidates
         owner = self.alias_owner
         changed = True
         while changed:
@@ -1105,8 +1213,10 @@ class Scheduler:
             self._sink.on_commit(self.now, sender.name, receiver.name,
                                  len(self._board), len(self._waiters))
         if self._sink_index:
-            self._sink.on_index(self.now, self._board.index_size,
-                                self._board.dirty_events)
+            board = self._board
+            self._sink.on_index(self.now, board.index_size,
+                                board.dirty_events, board.cache_hits,
+                                board.swept_pairs)
         self.commit_count += 1
         if (self._cadence_hook is not None
                 and self.commit_count % self._cadence_every == 0):

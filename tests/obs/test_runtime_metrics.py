@@ -92,7 +92,8 @@ def test_replay_recovers_event_derived_metrics():
     replayed_dict = replayed.registry.to_dict()
     for hook_only in ("rendezvous_match_latency", "board_size",
                       "waiter_depth", "match_index_pairs",
-                      "match_index_dirty_events"):
+                      "match_index_dirty_events", "match_cache_hits",
+                      "match_swept_pairs"):
         live_dict.pop(hook_only, None)
     assert replayed_dict == live_dict
     assert replayed.performance_spans == live.performance_spans
