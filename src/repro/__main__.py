@@ -19,7 +19,13 @@ Commands:
   (``--recover`` switches to the recovery soak: crashed processes are
   restarted with backoff and aborted performances retried; ``--kill9``
   SIGKILLs a journaled subprocess mid-run and — with ``--resume`` —
-  proves the resumed run commits the identical rendezvous sequence);
+  proves the resumed run commits the identical rendezvous sequence;
+  ``--explore`` switches to systematic fault-space exploration: fault
+  schedules anchored at a probe run's injection points are generated
+  under ``--budget``, each run is judged by the ``--oracle`` set, and
+  any failure is delta-debugged to a minimal counterexample JSON that
+  ``--replay-plan`` re-executes; ``--describe-plan`` prints the fault
+  plan a plan-less run of the seed would install);
 * ``replay <journal>``   — resume a durable performance journal:
   deterministically re-run its recorded scenario, validate every frame,
   and continue past the crash point;
@@ -233,9 +239,15 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Soak a script under deterministic fault injection."""
+    """Soak or explore a script under deterministic fault injection."""
+    if args.describe_plan:
+        return _chaos_describe_plan(args)
     if args.kill9:
         return _chaos_kill9(args)
+    if args.replay_plan:
+        return _chaos_replay_plan(args)
+    if args.explore:
+        return _chaos_explore(args)
     if args.recover:
         from .recovery import recover_soak, verify_recover_determinism
         if args.script != "broadcast":
@@ -251,11 +263,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for line in report.lines():
             print(line)
         if args.trace_out:
-            with open(args.trace_out, "w", encoding="utf-8",
-                      newline="") as handle:
-                handle.write(report.base_trace + "\n")
-            print(f"  trace         wrote base seed {args.seed} to "
-                  f"{args.trace_out}")
+            _write_trace(args.trace_out, report.base_trace, args.seed)
         if args.verify:
             same = verify_recover_determinism(seed=args.seed, **options)
             print(f"  determinism   seed {args.seed} replayed "
@@ -278,8 +286,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     for line in report.lines():
         print(line)
     if args.trace_out:
-        print("  trace         --trace-out applies only with --recover",
-              file=sys.stderr)
+        _write_trace(args.trace_out, report.base_trace, args.seed)
     if args.verify:
         same = verify_determinism(args.script, seed=args.seed)
         print(f"  determinism   seed {args.seed} replayed "
@@ -287,6 +294,94 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if not same:
             return 1
     return 0
+
+
+def _write_trace(path: str, trace: str, seed: int) -> None:
+    """Write a base seed's formatted trace to ``path`` (CI artifact)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(trace + "\n")
+    print(f"  trace         wrote base seed {seed} to {path}")
+
+
+def _chaos_oracles(args: argparse.Namespace) -> tuple[str, ...] | None:
+    """Resolve repeated ``--oracle`` flags (``all`` or None → defaults)."""
+    if not args.oracle or "all" in args.oracle:
+        return None
+    # Preserve first-mention order but drop repeats.
+    return tuple(dict.fromkeys(args.oracle))
+
+
+def _chaos_describe_plan(args: argparse.Namespace) -> int:
+    """``chaos --describe-plan``: print the seed's implied fault plan."""
+    from .faults import SCRIPTS, JournalCorruptionPlan
+    if args.recover:
+        from .recovery import recover_plan_for_seed
+        plan = recover_plan_for_seed(args.seed)
+        name = "recover (broadcast)"
+    else:
+        if args.script not in SCRIPTS:
+            print(f"unknown chaos script {args.script!r}; try: "
+                  f"{', '.join(SCRIPTS)}", file=sys.stderr)
+            return 2
+        from .faults import plan_for_seed
+        plan = plan_for_seed(args.script, args.seed)
+        name = args.script
+    print(f"fault plan: {name}, seed {args.seed}")
+    lines = plan.describe()
+    for line in lines:
+        print(f"  {line}")
+    if not lines:
+        print("  (no fault events)")
+    corruption = JournalCorruptionPlan.random(args.seed)
+    print("journal corruption (same seed, --kill9 --torn territory):")
+    print(f"  {corruption.describe()}")
+    return 0
+
+
+def _chaos_explore(args: argparse.Namespace) -> int:
+    """``chaos --explore``: systematic fault-space search + shrinking."""
+    import json
+
+    from .faults import SCRIPTS
+    from .faults.explore import explore, record_exploration
+    from .obs import MetricsRegistry
+    if args.script not in SCRIPTS:
+        print(f"unknown chaos script {args.script!r}; try: "
+              f"{', '.join(SCRIPTS)}", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry()
+    report = explore(args.script, seed=args.seed, budget=args.budget,
+                     oracles=_chaos_oracles(args), minimize=args.minimize)
+    record_exploration(report, metrics)
+    for line in report.lines():
+        print(line)
+    if args.trace_out:
+        _write_trace(args.trace_out, report.base_trace, args.seed)
+    if report.counterexample is not None:
+        ce = report.counterexample
+        out = args.plan_out or f"counterexample-{args.script}.json"
+        with open(out, "w", encoding="utf-8", newline="") as handle:
+            handle.write(json.dumps(ce.to_jsonable(), sort_keys=True,
+                                    indent=2) + "\n")
+        print(f"  plan          wrote {out}")
+        print(f"  repro         {ce.repro_command(out)}")
+        return 1
+    return 0
+
+
+def _chaos_replay_plan(args: argparse.Namespace) -> int:
+    """``chaos --replay-plan``: re-execute a saved counterexample."""
+    from .errors import ChaosInvariantError
+    from .faults.explore import check_saved_schedule
+    try:
+        check = check_saved_schedule(args.replay_plan,
+                                     oracles=_chaos_oracles(args))
+    except (ChaosInvariantError, OSError, ValueError) as error:
+        print(f"replay-plan: {error}", file=sys.stderr)
+        return 2
+    for line in check.lines():
+        print(line)
+    return 1 if check.reproduced else 0
 
 
 def _chaos_kill9(args: argparse.Namespace) -> int:
@@ -512,11 +607,45 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser("chaos", help="chaos-soak a script under "
                                          "seeded fault injection")
     chaos.add_argument("script", nargs="?", default="broadcast",
-                       choices=["broadcast", "lock"])
+                       choices=["broadcast", "lock", "chatroom"])
     chaos.add_argument("--runs", type=int, default=100,
                        help="number of seeded runs (default 100)")
     chaos.add_argument("--seed", type=int, default=0,
                        help="base seed; run i uses seed+i")
+    chaos.add_argument("--explore", action="store_true",
+                       help="systematic fault-space exploration: generate "
+                            "schedules at the probe run's injection "
+                            "points, judge each run with the oracle set, "
+                            "shrink any failure to a minimal "
+                            "counterexample (exits 1 on counterexample)")
+    chaos.add_argument("--budget", type=int, default=100,
+                       help="with --explore: number of schedules to "
+                            "examine (default 100)")
+    chaos.add_argument("--oracle", action="append", default=None,
+                       choices=["residue", "abort", "convergence",
+                                "replay", "all"],
+                       help="with --explore/--replay-plan: enable an "
+                            "oracle (repeatable; default: all)")
+    chaos.add_argument("--minimize", action="store_true", default=True,
+                       help="with --explore: delta-debug the first "
+                            "failure to a locally minimal schedule "
+                            "(default: on)")
+    chaos.add_argument("--no-minimize", action="store_false",
+                       dest="minimize",
+                       help="with --explore: keep the first failing "
+                            "schedule as found")
+    chaos.add_argument("--plan-out", default=None, metavar="PATH",
+                       help="with --explore: where to write the "
+                            "counterexample JSON (default "
+                            "counterexample-<script>.json)")
+    chaos.add_argument("--replay-plan", default=None, metavar="PATH",
+                       help="re-execute a saved counterexample JSON and "
+                            "report whether it still fails (exits 1 when "
+                            "it reproduces)")
+    chaos.add_argument("--describe-plan", action="store_true",
+                       help="print the fault plan a plan-less run of "
+                            "the seed would install, plus the seed's "
+                            "journal-corruption recipe, and exit")
     chaos.add_argument("--recover", action="store_true",
                        help="recovery mode: restart crashed processes and "
                             "retry aborted performances (broadcast only; "
@@ -556,7 +685,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Hidden: the kill -9 harness's child half (dies by SIGKILL).
     child = sub.add_parser("_kill9-child")
-    child.add_argument("script", choices=["broadcast", "lock", "recover"])
+    child.add_argument("script",
+                       choices=["broadcast", "lock", "chatroom", "recover"])
     child.add_argument("--seed", type=int, required=True)
     child.add_argument("--journal", required=True)
     child.add_argument("--kill-after", type=int, required=True,

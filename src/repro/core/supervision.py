@@ -49,6 +49,16 @@ from .roles import RoleId, family_of
 if TYPE_CHECKING:  # pragma: no cover
     from .instance import ScriptInstance
 
+#: Test-only planted regression.  When flipped (monkeypatched by
+#: ``tests/faults/test_explore.py``), :meth:`Supervisor._abort` skips
+#: marking the aborted performance as ended — residue the kernel cannot
+#: self-heal (survivors' aliases are reclaimed when their processes
+#: finish, but a performance's ``ended`` bit is the supervisor's job
+#: alone), so the fault-space explorer (:mod:`repro.faults.explore`)
+#: must find it and shrink it to a minimal schedule.  Never set outside
+#: tests.
+SKIP_ABORT_PERFORMANCE_END = False
+
 
 class Supervisor:
     """Applies crash policies to one script instance.
@@ -165,7 +175,8 @@ class Supervisor:
         scheduler = instance.scheduler
         self.aborts += 1
         performance.aborted = True
-        performance.ended = True
+        if not SKIP_ABORT_PERFORMANCE_END:
+            performance.ended = True
         crashed = tuple(sorted(performance.crashed, key=repr))
         instance._emit(EventKind.PERFORMANCE_ABORT, None,
                        performance=performance.id,

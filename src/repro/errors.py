@@ -248,8 +248,17 @@ class ChaosInvariantError(ReproError):
     """A chaos soak run left residue or violated a semantic invariant.
 
     The message names the offending seed, so any soak failure is
-    reproducible by rerunning that single seed.
+    reproducible by rerunning that single seed.  ``category`` classifies
+    the violation for the fault-space explorer's oracle set:
+    ``"residue"`` (kernel state survived the run), ``"semantics"`` (a
+    script-level invariant such as abort/delivery correctness),
+    ``"liveness"`` (a recovery soak fell short of its target), or the
+    generic ``"invariant"``.
     """
+
+    def __init__(self, message: str, category: str = "invariant"):
+        self.category = category
+        super().__init__(message)
 
 
 class RecoveryError(ReproError):

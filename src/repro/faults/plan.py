@@ -54,6 +54,25 @@ KINDS = (CRASH, PARTITION, HEAL, SLOW, DROP)
 _TRANSPORT_KINDS = frozenset({PARTITION, HEAL, SLOW, DROP})
 
 
+def _target_to_jsonable(value: Any) -> Any:
+    """Tuples survive a JSON round trip as lists; encode them recursively."""
+    if isinstance(value, tuple):
+        return [_target_to_jsonable(item) for item in value]
+    return value
+
+
+def _target_from_jsonable(value: Any) -> Any:
+    """Invert :func:`_target_to_jsonable`: JSON lists become tuples again.
+
+    Process names and topology nodes in this codebase are hashables built
+    from tuples (``("R", 2)``, ``("leaf", 3)``), never lists, so the
+    list→tuple restoration is unambiguous.
+    """
+    if isinstance(value, list):
+        return tuple(_target_from_jsonable(item) for item in value)
+    return value
+
+
 @dataclasses.dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One scheduled misfortune.
@@ -93,6 +112,22 @@ class FaultEvent:
         if self.kind == SLOW:
             return f"t={self.time:g} latency x{self.value:g}"
         return f"t={self.time:g} drop retries={self.value}"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Plain-JSON encoding (tuple targets become nested lists)."""
+        return {"time": self.time, "kind": self.kind,
+                "target": _target_to_jsonable(self.target),
+                "value": self.value}
+
+    @classmethod
+    def from_jsonable(cls, data: dict[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_jsonable` output (validating)."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault event must be a mapping, "
+                                 f"got {data!r}")
+        return cls(time=data.get("time", 0.0), kind=data.get("kind", ""),
+                   target=_target_from_jsonable(data.get("target")),
+                   value=data.get("value"))
 
 
 class FaultPlan:
@@ -285,11 +320,31 @@ class FaultPlan:
                                   value=event.value, applied=applied)
         return fire
 
-    # -- introspection -----------------------------------------------------
+    # -- introspection / serialization -------------------------------------
 
     def describe(self) -> list[str]:
         """One line per event, in firing order."""
         return [event.describe() for event in self.events]
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Plain-JSON encoding: the replayable form of a found schedule.
+
+        Round-trips through :meth:`from_jsonable`; the exploration CLI
+        writes this shape into counterexample files and the resume
+        registry carries it inside journal headers.
+        """
+        return {"events": [event.to_jsonable() for event in self.events]}
+
+    @classmethod
+    def from_jsonable(cls, data: Any) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_jsonable` output (or a bare
+        event list)."""
+        if isinstance(data, dict):
+            data = data.get("events", [])
+        if not isinstance(data, list):
+            raise FaultPlanError(f"fault plan must be a mapping with "
+                                 f"'events' or a list, got {data!r}")
+        return cls(FaultEvent.from_jsonable(event) for event in data)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -394,3 +449,17 @@ class JournalCorruptionPlan:
         """One-line human-readable rendering."""
         return (f"journal {self.mode} intensity={self.intensity} "
                 f"(seed {self.seed})")
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Plain-JSON encoding; round-trips through :meth:`from_jsonable`."""
+        return {"seed": self.seed, "mode": self.mode,
+                "intensity": self.intensity}
+
+    @classmethod
+    def from_jsonable(cls, data: dict[str, Any]) -> "JournalCorruptionPlan":
+        """Rebuild a corruption plan from :meth:`to_jsonable` output."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"corruption plan must be a mapping, "
+                                 f"got {data!r}")
+        return cls(seed=data.get("seed", 0), mode=data.get("mode", TRUNCATE),
+                   intensity=data.get("intensity", 8))

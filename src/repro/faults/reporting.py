@@ -1,0 +1,25 @@
+"""Shared report formatting for the chaos/recovery/exploration CLIs.
+
+Every soak-style report renders as a one-line header followed by aligned
+``label  value`` rows.  The layout used to be duplicated between
+:class:`~repro.faults.soak.SoakReport` and
+:class:`~repro.recovery.soak.RecoverReport` (and would have been a third
+time by the exploration report); this module is the single copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: Width the row labels are padded to; chosen so the historical reports'
+#: output is byte-identical ("  outcomes      ..." etc.).
+LABEL_WIDTH = 12
+
+
+def kv_lines(header: str,
+             rows: Iterable[tuple[str, Any]]) -> list[str]:
+    """Render ``header`` plus one aligned detail line per ``(label, value)``."""
+    lines = [header]
+    for label, value in rows:
+        lines.append(f"  {label:<{LABEL_WIDTH}}  {value}")
+    return lines

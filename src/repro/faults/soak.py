@@ -1,10 +1,11 @@
 """Chaos soak harness: many performances under seeded fault schedules.
 
-The harness runs the repo's two flagship scripts — the broadcast (Section
-II's running example, in an open-membership chaos variant) and the Figure 5
-replicated lock manager — for hundreds of performances, each under a
-deterministic :class:`~repro.faults.plan.FaultPlan`, and checks after every
-run that the kernel is residue-free:
+The harness runs three scripts — the broadcast (Section II's running
+example, in an open-membership chaos variant), the Figure 5 replicated
+lock manager, and an open chatroom with member churn (Section V's
+open-ended scripts under load) — for hundreds of performances, each under
+a deterministic :class:`~repro.faults.plan.FaultPlan`, and checks after
+every run that the kernel is residue-free:
 
 * the rendezvous board is empty (no orphaned offers),
 * no process is still parked on a condition,
@@ -31,16 +32,17 @@ from collections import Counter
 from typing import Any, Generator, Hashable
 
 from ..core import (Initiation, Mode, Param, ScriptDef, ScriptInstance,
-                    SealPolicy, Termination, UNFILLED)
+                    SealPolicy, SendTo, Termination, UNFILLED)
 from ..errors import ChaosInvariantError, PerformanceAborted
 from ..net import NetworkTransport, complete, star
 from ..runtime import TIMED_OUT, Delay, Scheduler, format_trace
 from ..scripts.lockmanager import MAJORITY, ReplicatedLockService
 from .plan import FaultPlan
+from .reporting import kv_lines
 
 Body = Generator[Any, Any, Any]
 
-SCRIPTS = ("broadcast", "lock")
+SCRIPTS = ("broadcast", "lock", "chatroom")
 
 
 # ---------------------------------------------------------------------------
@@ -87,6 +89,175 @@ def make_chaos_broadcast(n: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# The open-chatroom churn script (Section V open family, manual seal)
+# ---------------------------------------------------------------------------
+
+def make_chatroom(max_members: int = 4, join_window: float = 3.0,
+                  rounds: int = 4, send_patience: float = 2.0,
+                  member_patience: float = 6.0) -> ScriptDef:
+    """An open chatroom built to churn: members join, depart, and crash.
+
+    The host (critical) keeps enrollment open for ``join_window``, seals
+    the room itself, then broadcasts ``rounds`` numbered messages to
+    whichever members made it in.  Every host send is a bounded select —
+    a partitioned or departed member costs ``send_patience``, never a
+    wedge.  Members receive with ``member_patience`` and *depart* (role
+    body returns) after their planned ``stay`` rounds or on a timeout, so
+    the member population shrinks mid-performance — the open-ended-script
+    behaviour the Section V extension promises.
+    """
+    script = ScriptDef("chaos_chatroom", initiation=Initiation.IMMEDIATE,
+                       termination=Termination.IMMEDIATE)
+
+    @script.role("host", params=[Param("delivered", Mode.OUT)])
+    def host(ctx: Any, delivered: Any) -> Body:
+        yield Delay(join_window)
+        ctx.close_enrollment()
+        sent: list[tuple[int, int]] = []
+        for r in range(rounds):
+            for i in ctx.family_indices("member"):
+                member = ("member", i)
+                if ctx.terminated(member):
+                    continue  # departed or demoted to absence
+                result = yield from ctx.select(
+                    [SendTo(member, (r, f"news-{r}"))],
+                    timeout=send_patience)
+                if result.index == 0:
+                    sent.append((r, i))
+        delivered.value = sent
+
+    @script.role_family("member", None, min_count=0, max_count=max_members,
+                        params=[Param("stay", Mode.IN),
+                                Param("log", Mode.OUT)])
+    def member(ctx: Any, stay: Any, log: Any) -> Body:
+        received: list[Any] = []
+        while True:
+            value = yield from ctx.receive("host", timeout=member_patience)
+            if value is TIMED_OUT or value is UNFILLED:
+                break  # host quiet for too long (or gone): depart
+            received.append(value)
+            if value[0] + 1 >= stay:
+                break  # planned departure mid-performance
+        log.value = received
+
+    script.critical_role_set("host")
+    return script
+
+
+# ---------------------------------------------------------------------------
+# Seed-derived fault plans (shared by the runners, `plan_for_seed`, and
+# the --describe-plan CLI: one draw sequence, two consumers)
+# ---------------------------------------------------------------------------
+
+def broadcast_plan(rng: random.Random, n: int = 4,
+                   enroll_window: float = 3.0,
+                   horizon: float = 30.0) -> FaultPlan:
+    """The seed-derived default plan of :func:`run_chaos_broadcast`.
+
+    Possible sender crash (only after the seal window — a pre-seal sender
+    crash leaves an unsealable performance, which is a scripted-system
+    design error, not a chaos finding), recipient crashes at any time,
+    one hub-leaf partition window, and optional latency/drop windows.
+    """
+    plan = FaultPlan()
+    if rng.random() < 0.25:
+        plan.crash(round(rng.uniform(enroll_window + 0.5,
+                                     horizon / 2), 3), "S")
+    for i in range(1, n + 1):
+        if rng.random() < 0.3:
+            plan.crash(round(rng.uniform(0.2, horizon / 2), 3), ("R", i))
+    if rng.random() < 0.5:
+        leaf = rng.randint(1, n)
+        start = round(rng.uniform(0.2, enroll_window + 2.0), 3)
+        plan.partition(start, "hub", ("leaf", leaf),
+                       heal_at=round(start + rng.uniform(0.5, 4.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.slow(start, round(rng.uniform(2.0, 5.0), 2),
+                  until=round(start + rng.uniform(1.0, 5.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.drop(start, rng.randint(1, 3),
+                  until=round(start + rng.uniform(1.0, 5.0), 3))
+    return plan
+
+
+def lock_plan(rng: random.Random, clients: int = 4,
+              horizon: float = 12.0) -> FaultPlan:
+    """The seed-derived default plan of :func:`run_chaos_lock`.
+
+    Client crashes only: managers hold the lock tables, which must
+    survive the soak, so killing one is out of contract by design.
+    """
+    plan = FaultPlan()
+    for i in range(1, clients + 1):
+        if rng.random() < 0.4:
+            plan.crash(round(rng.uniform(0.2, horizon * 0.6), 3),
+                       ("client", i))
+    return plan
+
+
+def chatroom_plan(rng: random.Random, n: int = 4,
+                  join_window: float = 3.0,
+                  horizon: float = 40.0) -> FaultPlan:
+    """The seed-derived default plan of :func:`run_chaos_chatroom`.
+
+    Possible host crash (post-seal only, like the broadcast's sender),
+    member crashes at any time, one hub-leaf partition that sometimes
+    *never heals* (chatrooms tolerate a member falling off the net: the
+    member departs on timeout), and optional latency/drop windows.
+    """
+    plan = FaultPlan()
+    if rng.random() < 0.25:
+        plan.crash(round(rng.uniform(join_window + 0.5,
+                                     horizon / 2), 3), "H")
+    for i in range(1, n + 1):
+        if rng.random() < 0.3:
+            plan.crash(round(rng.uniform(0.2, horizon / 2), 3), ("M", i))
+    if rng.random() < 0.5:
+        leaf = rng.randint(1, n)
+        start = round(rng.uniform(0.2, join_window + 2.0), 3)
+        if rng.random() < 0.35:
+            plan.partition(start, "hub", ("leaf", leaf))  # never heals
+        else:
+            plan.partition(start, "hub", ("leaf", leaf),
+                           heal_at=round(start + rng.uniform(0.5, 4.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.slow(start, round(rng.uniform(2.0, 5.0), 2),
+                  until=round(start + rng.uniform(1.0, 5.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.drop(start, rng.randint(1, 3),
+                  until=round(start + rng.uniform(1.0, 5.0), 3))
+    return plan
+
+
+def plan_for_seed(script: str, seed: int, **options: Any) -> FaultPlan:
+    """The fault plan a plan-less run of ``script`` at ``seed`` installs.
+
+    Replays exactly the runner's RNG draw sequence (the generators above
+    run first against a fresh ``random.Random(seed)`` in every runner),
+    so ``plan_for_seed(s, seed).describe() == run(seed).faults`` — pinned
+    by test.  ``options`` accepts the runner's sizing keywords.
+    """
+    rng = random.Random(seed)
+    if script == "broadcast":
+        return broadcast_plan(rng, n=options.get("n", 4),
+                              enroll_window=options.get("enroll_window", 3.0),
+                              horizon=options.get("horizon", 30.0))
+    if script == "lock":
+        return lock_plan(rng, clients=options.get("clients", 4),
+                         horizon=options.get("horizon", 12.0))
+    if script == "chatroom":
+        return chatroom_plan(rng, n=options.get("n", 4),
+                             join_window=options.get("join_window", 3.0),
+                             horizon=options.get("horizon", 40.0))
+    raise ChaosInvariantError(
+        f"unknown chaos script {script!r}; choose from {SCRIPTS}")
+
+
+# ---------------------------------------------------------------------------
 # Per-run record and residue checking
 # ---------------------------------------------------------------------------
 
@@ -130,11 +301,13 @@ def check_residue(scheduler: Scheduler, seed: int,
             if not performance.ended:
                 problems.append(f"{performance.id} never ended")
     if problems:
-        raise ChaosInvariantError(f"seed {seed}: " + "; ".join(problems))
+        raise ChaosInvariantError(f"seed {seed}: " + "; ".join(problems),
+                                  category="residue")
 
 
 def _fail(seed: int, message: str) -> None:
-    raise ChaosInvariantError(f"seed {seed}: {message}")
+    raise ChaosInvariantError(f"seed {seed}: {message}",
+                              category="semantics")
 
 
 # ---------------------------------------------------------------------------
@@ -179,26 +352,7 @@ def run_chaos_broadcast(seed: int, n: int = 4, payload: Any = "payload",
 
     rng = random.Random(seed)
     if plan is None:
-        plan = FaultPlan()
-        if rng.random() < 0.25:
-            plan.crash(round(rng.uniform(enroll_window + 0.5,
-                                         horizon / 2), 3), "S")
-        for i in range(1, n + 1):
-            if rng.random() < 0.3:
-                plan.crash(round(rng.uniform(0.2, horizon / 2), 3), ("R", i))
-        if rng.random() < 0.5:
-            leaf = rng.randint(1, n)
-            start = round(rng.uniform(0.2, enroll_window + 2.0), 3)
-            plan.partition(start, "hub", ("leaf", leaf),
-                           heal_at=round(start + rng.uniform(0.5, 4.0), 3))
-        if rng.random() < 0.3:
-            start = round(rng.uniform(0.2, horizon / 3), 3)
-            plan.slow(start, round(rng.uniform(2.0, 5.0), 2),
-                      until=round(start + rng.uniform(1.0, 5.0), 3))
-        if rng.random() < 0.3:
-            start = round(rng.uniform(0.2, horizon / 3), 3)
-            plan.drop(start, rng.randint(1, 3),
-                      until=round(start + rng.uniform(1.0, 5.0), 3))
+        plan = broadcast_plan(rng, n, enroll_window, horizon)
     plan.install(scheduler, transport=transport)
 
     def sender_process() -> Body:
@@ -292,6 +446,11 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
     instance = service.instance
     supervisor = instance.supervise()
     rng = random.Random(seed)
+    # The plan is drawn before the client staggers so that a fresh
+    # ``random.Random(seed)`` reproduces it: the contract behind
+    # :func:`plan_for_seed` and the ``--describe-plan`` CLI.
+    if plan is None:
+        plan = lock_plan(rng, clients, horizon)
 
     finished: set[int] = set()
 
@@ -343,12 +502,6 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
         hold = round(rng.uniform(0.5, horizon / 4), 3)
         scheduler.spawn(("client", i), client_process(i, start, hold))
 
-    if plan is None:
-        plan = FaultPlan()
-        for i in range(1, clients + 1):
-            if rng.random() < 0.4:
-                plan.crash(round(rng.uniform(0.2, horizon * 0.6), 3),
-                           ("client", i))
     plan.install(scheduler)
 
     result = scheduler.run()
@@ -380,10 +533,130 @@ def run_chaos_lock(seed: int, k: int = 3, clients: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# Chatroom under churn
+# ---------------------------------------------------------------------------
+
+def run_chaos_chatroom(seed: int, n: int = 4, rounds: int = 4,
+                       plan: FaultPlan | None = None,
+                       join_window: float = 3.0,
+                       horizon: float = 40.0,
+                       journal: Any = None) -> ChaosRun:
+    """One chaos chatroom: open membership, departures, seeded churn.
+
+    The host sits on the hub of a star, member *i* on leaf *i*.  Members
+    arrive staggered — deliberately wider than the join window, so some
+    arrive *after* the room sealed and must walk away rather than wedge
+    the instance with a hostless second performance.  Each member draws a
+    planned ``stay`` (how many rounds before departing); the fault plan
+    adds crashes, a partition that may never heal, and latency/drop
+    windows on top.
+
+    Invariants checked per run: an aborted performance implies the host
+    was killed; every surviving member's log is a prefix-consistent
+    subsequence of the host's numbered messages (strictly increasing
+    rounds, each with its round's payload).
+    """
+    scheduler = Scheduler(seed=seed)
+    topology = star(n)
+    placement: dict[Hashable, Any] = {"H": "hub"}
+    placement.update({("M", i): ("leaf", i) for i in range(1, n + 1)})
+    transport = NetworkTransport(topology, placement)
+    scheduler.transport = transport
+    if journal is not None:
+        journal.attach(scheduler)
+
+    script = make_chatroom(max_members=n, join_window=join_window,
+                           rounds=rounds)
+    instance = script.instance(scheduler, name="chaos_chatroom",
+                               seal_policy=SealPolicy.MANUAL)
+    aborted = {"flag": False}
+    supervisor = instance.supervise(
+        on_abort=lambda _performance: aborted.__setitem__("flag", True))
+
+    rng = random.Random(seed)
+    if plan is None:
+        plan = chatroom_plan(rng, n, join_window, horizon)
+    plan.install(scheduler, transport=transport)
+
+    def room_open() -> bool:
+        # The chatroom is a one-performance script: a member arriving
+        # after the room sealed (or after an abort tore it down) must not
+        # enroll — its request would immediately start a hostless second
+        # performance that can never seal.  It walks away instead.
+        if aborted["flag"]:
+            return False
+        current = instance.current
+        if current is not None:
+            return not current.sealed
+        return not instance.performances
+
+    def host_process() -> Body:
+        try:
+            out = yield from instance.enroll("host")
+        except PerformanceAborted:
+            return "aborted"
+        return out["delivered"]
+
+    def member_process(i: int, stagger: float, stay: int) -> Body:
+        yield Delay(stagger)
+        if not room_open():
+            return "missed"
+        try:
+            out = yield from instance.enroll(
+                "member", stay=stay,
+                withdraw_when=lambda: not room_open())
+        except PerformanceAborted:
+            return "aborted"
+        if out is None:
+            return "withdrawn"
+        return out["log"]
+
+    scheduler.spawn("H", host_process())
+    for i in range(1, n + 1):
+        stagger = round(rng.uniform(0.0, 1.6 * join_window), 3)
+        stay = rng.randint(1, rounds + 1)
+        scheduler.spawn(("M", i), member_process(i, stagger, stay))
+
+    result = scheduler.run()
+    check_residue(scheduler, seed, (instance,))
+    scheduler.reap()
+
+    outcome = "aborted" if supervisor.aborts else "completed"
+    if outcome == "aborted":
+        if "H" not in result.killed:
+            _fail(seed, "performance aborted but the host survived")
+    for i in range(1, n + 1):
+        name = ("M", i)
+        if name in result.killed:
+            continue
+        log = result.results.get(name)
+        if not isinstance(log, list):
+            continue  # "missed" / "withdrawn" / "aborted"
+        last_round = -1
+        for entry in log:
+            r, payload = entry
+            if r <= last_round:
+                _fail(seed, f"member {i} log rounds not increasing: {log!r}")
+            if payload != f"news-{r}":
+                _fail(seed, f"member {i} received corrupt round {r}: "
+                            f"{entry!r}")
+            last_round = r
+    if journal is not None:
+        journal.finish(outcome)
+    return ChaosRun(seed=seed, outcome=outcome, results=result.results,
+                    killed=result.killed, crashes=supervisor.crashes,
+                    aborts=supervisor.aborts, faults=plan.describe(),
+                    performances=instance.performance_count,
+                    time=result.time, trace=format_trace(result.tracer),
+                    events=result.tracer.snapshot())
+
+
+# ---------------------------------------------------------------------------
 # The soak loop
 # ---------------------------------------------------------------------------
 
-_RUNNERS = {"broadcast": run_chaos_broadcast, "lock": run_chaos_lock}
+_RUNNERS = {"broadcast": run_chaos_broadcast, "lock": run_chaos_lock,
+            "chatroom": run_chaos_chatroom}
 
 
 @dataclasses.dataclass(slots=True)
@@ -398,21 +671,24 @@ class SoakReport:
     aborts: int = 0
     performances: int = 0
     faults: int = 0
+    #: Formatted trace of the base-seed run, for ``--trace-out``.
+    base_trace: str = ""
 
     def lines(self) -> list[str]:
         """Human-readable summary for the CLI."""
         share = ", ".join(f"{name}: {count}"
                           for name, count in sorted(self.outcomes.items()))
-        return [
+        return kv_lines(
             f"chaos soak: {self.script}, {self.runs} runs "
             f"(seeds {self.base_seed}..{self.base_seed + self.runs - 1})",
-            f"  outcomes      {share}",
-            f"  performances  {self.performances}",
-            f"  role crashes  {self.crashes} "
-            f"(aborted performances: {self.aborts})",
-            f"  fault events  {self.faults}",
-            "  residue       none (checked after every run)",
-        ]
+            [
+                ("outcomes", share),
+                ("performances", self.performances),
+                ("role crashes",
+                 f"{self.crashes} (aborted performances: {self.aborts})"),
+                ("fault events", self.faults),
+                ("residue", "none (checked after every run)"),
+            ])
 
 
 def soak(script: str = "broadcast", runs: int = 100, seed: int = 0,
@@ -420,7 +696,8 @@ def soak(script: str = "broadcast", runs: int = 100, seed: int = 0,
     """Run ``runs`` chaos runs with consecutive seeds; raise on any residue.
 
     ``options`` are forwarded to the per-run function
-    (:func:`run_chaos_broadcast` / :func:`run_chaos_lock`).
+    (:func:`run_chaos_broadcast` / :func:`run_chaos_lock` /
+    :func:`run_chaos_chatroom`).
     """
     try:
         runner = _RUNNERS[script]
@@ -432,6 +709,8 @@ def soak(script: str = "broadcast", runs: int = 100, seed: int = 0,
                         outcomes=Counter())
     for offset in range(runs):
         run = runner(seed + offset, **options)
+        if offset == 0:
+            report.base_trace = run.trace
         report.outcomes[run.outcome] += 1
         report.crashes += run.crashes
         report.aborts += run.aborts

@@ -42,9 +42,11 @@ def scenario_registry() -> dict[str, Callable[..., Any]]:
     Imported on demand so :mod:`repro.persist` stays importable from the
     fault/recovery layers without a cycle.
     """
-    from ..faults.soak import run_chaos_broadcast, run_chaos_lock
+    from ..faults.soak import (run_chaos_broadcast, run_chaos_chatroom,
+                               run_chaos_lock)
     from ..recovery.soak import run_recover_broadcast
     return {"broadcast": run_chaos_broadcast, "lock": run_chaos_lock,
+            "chatroom": run_chaos_chatroom,
             "recover": run_recover_broadcast}
 
 

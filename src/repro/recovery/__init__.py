@@ -31,7 +31,8 @@ yields a byte-identical formatted trace, recovery included.
 
 from .policy import BackoffSchedule, RestartPolicy
 from .retry import PerformanceRetry
-from .soak import (RecoverReport, RecoveryRun, recover_soak,
+from .soak import (RecoverReport, RecoveryRun, recover_plan,
+                   recover_plan_for_seed, recover_soak,
                    run_recover_broadcast, verify_recover_determinism)
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "PerformanceRetry",
     "RecoveryRun",
     "RecoverReport",
+    "recover_plan",
+    "recover_plan_for_seed",
     "run_recover_broadcast",
     "recover_soak",
     "verify_recover_determinism",

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from collections import Counter
 from typing import Any, Generator, Hashable
 
 from ..core import SealPolicy
 from ..errors import ChaosInvariantError, PerformanceAborted
 from ..faults.plan import FaultPlan
+from ..faults.reporting import kv_lines
 from ..faults.soak import check_residue, make_chaos_broadcast
 from ..net import NetworkTransport, star
 from ..runtime import Scheduler, format_trace
@@ -38,6 +38,51 @@ from .policy import BackoffSchedule, RestartPolicy
 from .retry import PerformanceRetry
 
 Body = Generator[Any, Any, Any]
+
+
+def recover_plan(rng: random.Random, n: int = 3,
+                 enroll_window: float = 2.0,
+                 horizon: float = 40.0) -> tuple[FaultPlan, int]:
+    """The seed-derived plan of :func:`run_recover_broadcast`.
+
+    Returns ``(plan, sender_crashes)``: the runner sizes its retry and
+    restart budgets from the sender crash count, so the count travels
+    with the plan.  The sender dies at least once — each crash window is
+    offset past the previous recovery, so every crash can land in a
+    fresh performance.
+    """
+    plan = FaultPlan()
+    sender_crashes = 1 + (rng.random() < 0.4)
+    for c in range(sender_crashes):
+        lo = enroll_window + 0.5 + c * 3 * enroll_window
+        plan.crash(round(rng.uniform(lo, lo + 2 * enroll_window), 3), "S")
+    for i in range(1, n + 1):
+        if rng.random() < 0.4:
+            plan.crash(round(rng.uniform(0.2, horizon / 2), 3), ("R", i))
+    if rng.random() < 0.4:
+        leaf = rng.randint(1, n)
+        start = round(rng.uniform(0.2, enroll_window + 2.0), 3)
+        plan.partition(start, "hub", ("leaf", leaf),
+                       heal_at=round(start + rng.uniform(0.5, 3.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.slow(start, round(rng.uniform(2.0, 4.0), 2),
+                  until=round(start + rng.uniform(1.0, 4.0), 3))
+    if rng.random() < 0.3:
+        start = round(rng.uniform(0.2, horizon / 3), 3)
+        plan.drop(start, rng.randint(1, 3),
+                  until=round(start + rng.uniform(1.0, 4.0), 3))
+    return plan, sender_crashes
+
+
+def recover_plan_for_seed(seed: int, **options: Any) -> FaultPlan:
+    """The plan ``run_recover_broadcast(seed)`` installs (for
+    ``--describe-plan``); options accept the runner's sizing keywords."""
+    plan, _ = recover_plan(random.Random(seed),
+                           n=options.get("n", 3),
+                           enroll_window=options.get("enroll_window", 2.0),
+                           horizon=options.get("horizon", 40.0))
+    return plan
 
 
 @dataclasses.dataclass(slots=True)
@@ -61,7 +106,8 @@ class RecoveryRun:
 
 
 def _fail(seed: int, message: str) -> None:
-    raise ChaosInvariantError(f"seed {seed}: {message}")
+    raise ChaosInvariantError(f"seed {seed}: {message}",
+                              category="liveness")
 
 
 def run_recover_broadcast(seed: int, n: int = 3, rounds: int = 3,
@@ -108,29 +154,7 @@ def run_recover_broadcast(seed: int, n: int = 3, rounds: int = 3,
     # Seed-derived crash plan, drawn before the budgets so the budgets can
     # be sized to provably cover it (liveness must not depend on luck).
     rng = random.Random(seed)
-    plan = FaultPlan()
-    sender_crashes = 1 + (rng.random() < 0.4)
-    for c in range(sender_crashes):
-        lo = enroll_window + 0.5 + c * 3 * enroll_window
-        plan.crash(round(rng.uniform(lo, lo + 2 * enroll_window), 3), "S")
-    recipient_crashes = Counter()
-    for i in range(1, n + 1):
-        if rng.random() < 0.4:
-            plan.crash(round(rng.uniform(0.2, horizon / 2), 3), ("R", i))
-            recipient_crashes[("R", i)] += 1
-    if rng.random() < 0.4:
-        leaf = rng.randint(1, n)
-        start = round(rng.uniform(0.2, enroll_window + 2.0), 3)
-        plan.partition(start, "hub", ("leaf", leaf),
-                       heal_at=round(start + rng.uniform(0.5, 3.0), 3))
-    if rng.random() < 0.3:
-        start = round(rng.uniform(0.2, horizon / 3), 3)
-        plan.slow(start, round(rng.uniform(2.0, 4.0), 2),
-                  until=round(start + rng.uniform(1.0, 4.0), 3))
-    if rng.random() < 0.3:
-        start = round(rng.uniform(0.2, horizon / 3), 3)
-        plan.drop(start, rng.randint(1, 3),
-                  until=round(start + rng.uniform(1.0, 4.0), 3))
+    plan, sender_crashes = recover_plan(rng, n, enroll_window, horizon)
 
     retry = PerformanceRetry(instance, max_retries=sender_crashes)
     quarantined: set[Hashable] = set()
@@ -263,21 +287,26 @@ class RecoverReport:
 
     def lines(self) -> list[str]:
         """Human-readable summary for the CLI."""
-        return [
+        rows: list[tuple[str, Any]] = [
+            ("performances",
+             f"{self.completed} completed (target {self.runs * self.rounds})"),
+            ("role crashes",
+             f"{self.crashes} (aborted performances: {self.aborts})"),
+            ("restarts", self.restarts),
+            ("retries",
+             f"{self.retries} granted, {self.recovered} performances "
+             f"recovered"),
+            ("fault events", self.faults),
+            ("residue", "none (checked after every run)"),
+        ]
+        if self.quarantined:
+            rows.append(("quarantined",
+                         f"{self.quarantined} name(s) left down "
+                         f"(no recovery)"))
+        return kv_lines(
             f"recovery soak: broadcast, {self.runs} runs "
             f"(seeds {self.base_seed}..{self.base_seed + self.runs - 1}), "
-            f"{self.rounds} rounds each",
-            f"  performances  {self.completed} completed "
-            f"(target {self.runs * self.rounds})",
-            f"  role crashes  {self.crashes} "
-            f"(aborted performances: {self.aborts})",
-            f"  restarts      {self.restarts}",
-            f"  retries       {self.retries} granted, "
-            f"{self.recovered} performances recovered",
-            f"  fault events  {self.faults}",
-            "  residue       none (checked after every run)",
-        ] + ([f"  quarantined   {self.quarantined} name(s) left down "
-              f"(no recovery)"] if self.quarantined else [])
+            f"{self.rounds} rounds each", rows)
 
 
 def recover_soak(runs: int = 25, seed: int = 0,

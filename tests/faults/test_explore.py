@@ -1,0 +1,159 @@
+"""Fault-space exploration: probe, frontier, oracles, shrinking, replay."""
+
+import json
+
+import pytest
+
+import repro.core.supervision as supervision
+from repro.faults.explore import (DEFAULT_ORACLES, SCENARIOS,
+                                  FaultSchedule, InjectionProbe,
+                                  check_saved_schedule, explore,
+                                  record_exploration)
+from repro.faults.plan import FaultPlan
+from repro.faults.soak import run_chaos_broadcast
+from repro.obs import MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# The probe: injection points come from the instrumentation stream
+# ---------------------------------------------------------------------------
+
+def test_probe_enumerates_points_from_a_fault_free_run():
+    probe = InjectionProbe()
+    run_chaos_broadcast(0, plan=FaultPlan(), journal=probe)
+    kinds = {point.kind for point in probe.points}
+    assert kinds <= {"commit", "enroll", "recovery", "timer"}
+    assert {"commit", "enroll", "timer"} <= kinds
+    # Points arrive sorted and deduplicated — the frontier's anchor order
+    # must not depend on dict/set iteration.
+    assert probe.points == sorted(
+        probe.points, key=lambda p: (p.time, p.kind, p.subject))
+    assert len(set(probe.points)) == len(probe.points)
+    assert probe.frames > 2           # header + end + real traffic
+    assert probe.outcome == "completed"
+
+
+def test_probe_is_deterministic_per_seed():
+    first, second = InjectionProbe(), InjectionProbe()
+    run_chaos_broadcast(5, plan=FaultPlan(), journal=first)
+    run_chaos_broadcast(5, plan=FaultPlan(), journal=second)
+    assert first.points == second.points
+    assert first.frames == second.frames
+
+
+# ---------------------------------------------------------------------------
+# Determinism pin: same seed + budget => identical exploration
+# ---------------------------------------------------------------------------
+
+def test_exploration_is_deterministic():
+    first = explore("broadcast", seed=3, budget=20)
+    second = explore("broadcast", seed=3, budget=20)
+    assert first.schedule_log == second.schedule_log
+    assert first.points == second.points
+    assert first.verdicts == second.verdicts
+    assert first.families == second.families
+    assert first.runs == second.runs
+    assert first.base_trace == second.base_trace
+
+
+def test_different_seed_explores_a_different_frontier():
+    first = explore("broadcast", seed=3, budget=20)
+    other = explore("broadcast", seed=4, budget=20)
+    assert first.schedule_log != other.schedule_log
+
+
+# ---------------------------------------------------------------------------
+# All oracles green on the unmodified runtime
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_explorer_green_on_unmodified_runtime(scenario):
+    report = explore(scenario, seed=0, budget=12)
+    assert report.ok
+    assert report.oracles == DEFAULT_ORACLES
+    assert report.schedules == 12
+    assert report.verdicts["pass"] == 12
+    assert report.verdicts.get("fail", 0) == 0
+    # The replay oracle doubles every journaled run.
+    assert report.runs > report.schedules
+
+
+def test_deselecting_the_replay_oracle_skips_journaled_runs():
+    report = explore("lock", seed=1, budget=8,
+                     oracles=("residue", "abort", "convergence"))
+    assert report.ok
+    # No journal legs: one run per schedule, plus the probe run.
+    assert report.schedules == 8
+    assert report.runs == report.schedules + 1
+    assert report.families.get("corruption", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Coverage counters
+# ---------------------------------------------------------------------------
+
+def test_record_exploration_publishes_coverage_counters():
+    report = explore("broadcast", seed=0, budget=6)
+    registry = record_exploration(report, MetricsRegistry())
+    snapshot = registry.to_dict()
+    assert snapshot["explore_runs_total"]["value"] == report.runs
+    assert snapshot["explore_verdicts_total{pass}"]["value"] == 6
+    assert sum(entry["value"] for key, entry in snapshot.items()
+               if key.startswith("explore_points_total{")) == sum(
+                   report.points.values())
+    assert sum(entry["value"] for key, entry in snapshot.items()
+               if key.startswith("explore_schedules_total{")
+               ) == report.schedules
+
+
+# ---------------------------------------------------------------------------
+# The planted regression: found, shrunk, replayable, and fixable
+# ---------------------------------------------------------------------------
+
+def test_planted_regression_found_shrunk_and_replayed(monkeypatch, tmp_path):
+    monkeypatch.setattr(supervision, "SKIP_ABORT_PERFORMANCE_END", True)
+    report = explore("broadcast", seed=0, budget=90)
+    ce = report.counterexample
+    assert ce is not None, "explorer missed the planted regression"
+    assert ce.oracle == "residue"
+    assert "never ended" in ce.detail
+    # Shrunk to a locally minimal schedule: the acceptance bar is <= 3
+    # fault events; ddmin takes this one all the way to a single crash.
+    assert ce.schedule.plan is not None
+    assert len(ce.schedule.plan) <= 3
+    assert report.verdicts["fail"] == 1
+
+    # The JSON artifact replays to the same failure...
+    path = tmp_path / "counterexample.json"
+    path.write_text(json.dumps(ce.to_jsonable(), sort_keys=True))
+    check = check_saved_schedule(str(path))
+    assert check.reproduced
+    assert check.failures[0][0] == "residue"
+    assert str(path) in ce.repro_command(str(path))
+
+    # ...and stops reproducing once the regression is reverted.
+    monkeypatch.setattr(supervision, "SKIP_ABORT_PERFORMANCE_END", False)
+    fixed = check_saved_schedule(str(path))
+    assert not fixed.reproduced
+
+
+def test_counterexample_schedule_round_trips_through_json():
+    schedule = FaultSchedule(
+        family="crash", plan=FaultPlan().crash(6.0, "S").partition(
+            7.0, "hub", ("leaf", 1), heal_at=9.0))
+    rebuilt = FaultSchedule.from_jsonable(
+        json.loads(json.dumps(schedule.to_jsonable())))
+    assert rebuilt.family == schedule.family
+    assert rebuilt.plan.events == schedule.plan.events
+    assert rebuilt.describe() == schedule.describe()
+
+
+def test_check_saved_schedule_rejects_malformed_files(tmp_path):
+    from repro.errors import ChaosInvariantError
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"scenario": "no-such-script"}))
+    with pytest.raises(ChaosInvariantError, match="unknown scenario"):
+        check_saved_schedule(str(path))
+    path.write_text(json.dumps(["not", "a", "mapping"]))
+    with pytest.raises(ChaosInvariantError, match="not a counterexample"):
+        check_saved_schedule(str(path))

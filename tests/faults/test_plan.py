@@ -363,3 +363,113 @@ def test_truncate_never_cuts_into_the_magic(tmp_path):
     JournalCorruptionPlan(seed=0, mode="truncate",
                           intensity=10_000).apply(str(path))
     assert path.read_bytes() == b"SCRJRNL1"
+
+
+def test_bitflip_on_a_magic_only_journal_is_a_noop(tmp_path):
+    from repro.faults import JournalCorruptionPlan
+    path = tmp_path / "empty.jrnl"
+    path.write_bytes(b"SCRJRNL1")
+    description = JournalCorruptionPlan(
+        seed=3, mode="bitflip", intensity=8).apply(str(path))
+    assert "nothing to flip" in description
+    assert path.read_bytes() == b"SCRJRNL1"
+
+
+def test_garbage_on_a_header_only_journal_reads_as_torn(tmp_path):
+    from repro.faults import JournalCorruptionPlan
+    from repro.persist.journal import read_journal
+    path = _journal(tmp_path, frames=0)
+    JournalCorruptionPlan(seed=3, mode="garbage",
+                          intensity=16).apply(str(path))
+    doc = read_journal(path)
+    assert doc.torn and doc.frames == []
+    assert doc.header["scenario"] == "t"
+
+
+def test_truncate_into_the_header_is_structural(tmp_path):
+    # Truncation that eats the header frame is the one corruption no
+    # crash of an append-only writer can produce; the reader refuses it
+    # loudly instead of resuming from garbage.
+    from repro.errors import JournalError
+    from repro.faults import JournalCorruptionPlan
+    from repro.persist.journal import read_journal
+    path = _journal(tmp_path, frames=0)
+    JournalCorruptionPlan(seed=0, mode="truncate",
+                          intensity=4).apply(str(path))
+    with pytest.raises(JournalError, match="header"):
+        read_journal(path)
+
+
+def _frame_spans(data):
+    """``(start, payload_start, end)`` per frame after the magic."""
+    import struct
+    spans, offset = [], 8
+    while offset + 8 <= len(data):
+        length, _crc = struct.unpack_from("<II", data, offset)
+        spans.append((offset, offset + 8, offset + 8 + length))
+        offset += 8 + length
+    return spans
+
+
+@pytest.mark.parametrize("region", ["length", "crc", "payload"])
+def test_bitflip_by_region_drops_from_the_damaged_frame(tmp_path, region):
+    """One flipped bit in the last frame — whether in its length prefix,
+    its CRC, or its payload — drops exactly that frame as a torn tail."""
+    import random
+
+    from repro.faults import JournalCorruptionPlan
+    from repro.persist.journal import read_journal
+    path = _journal(tmp_path, frames=2)
+    data = path.read_bytes()
+    start, payload_start, end = _frame_spans(data)[-1]
+    want = {"length": range(start, start + 4),
+            "crc": range(start + 4, payload_start),
+            "payload": range(payload_start, end)}[region]
+    low = max(8, len(data) - JournalCorruptionPlan.TAIL_REGION)
+    # Replicate the plan's draw sequence to aim the single flip.
+    seed = next(s for s in range(5000)
+                if random.Random(s).randrange(low, len(data)) in want)
+    JournalCorruptionPlan(seed=seed, mode="bitflip",
+                          intensity=1).apply(str(path))
+    doc = read_journal(path)
+    assert doc.torn
+    assert [frame["seq"] for frame in doc.frames] == [0]
+
+
+def test_garbage_on_an_already_torn_tail_keeps_intact_frames(tmp_path):
+    from repro.faults import JournalCorruptionPlan
+    from repro.persist.journal import read_journal
+    path = _journal(tmp_path, frames=3)
+    path.write_bytes(path.read_bytes()[:-5])     # tear the last frame
+    assert read_journal(path).torn
+    JournalCorruptionPlan(seed=9, mode="garbage",
+                          intensity=20).apply(str(path))
+    doc = read_journal(path)
+    assert doc.torn
+    assert [frame["seq"] for frame in doc.frames] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trips: the explorer's counterexample files depend on these
+# ---------------------------------------------------------------------------
+
+def test_fault_plan_json_round_trip():
+    import json
+    plan = (FaultPlan().crash(1.5, ("R", 2))
+            .partition(2.0, "hub", ("leaf", 1), heal_at=4.0)
+            .slow(3.0, 2.5, until=5.0).drop(4.0, 1, until=6.0))
+    data = json.loads(json.dumps(plan.to_jsonable()))
+    rebuilt = FaultPlan.from_jsonable(data)
+    assert rebuilt.events == plan.events
+    assert rebuilt.describe() == plan.describe()
+    # The bare-list form (just the event list) is accepted too.
+    assert FaultPlan.from_jsonable(data["events"]).events == plan.events
+
+
+def test_corruption_plan_json_round_trip():
+    import json
+
+    from repro.faults import JournalCorruptionPlan
+    plan = JournalCorruptionPlan(seed=9, mode="garbage", intensity=3)
+    assert JournalCorruptionPlan.from_jsonable(
+        json.loads(json.dumps(plan.to_jsonable()))) == plan

@@ -316,3 +316,78 @@ def test_chaos_kill9_resume_roundtrip(tmp_path, capsys):
     # --journal keeps the artifacts for inspection.
     assert (tmp_path / "oracle-broadcast-0.jrnl").exists()
     assert (tmp_path / "crash-broadcast-0.jrnl").exists()
+
+
+def test_chaos_chatroom_soak(capsys):
+    assert main(["chaos", "chatroom", "--runs", "5", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "chatroom" in out
+    assert "replayed identically" in out
+
+
+def test_chaos_plain_soak_trace_artifact(tmp_path, capsys):
+    trace = tmp_path / "soak.trace"
+    assert main(["chaos", "broadcast", "--runs", "2",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote base seed 0 to {trace}" in out
+    assert "comm" in trace.read_text()
+
+
+def test_chaos_describe_plan(capsys):
+    assert main(["chaos", "chatroom", "--describe-plan",
+                 "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan: chatroom, seed 7" in out
+    assert "journal" in out                       # corruption recipe too
+    # The printed plan is exactly what a plan-less run installs.
+    from repro.faults import plan_for_seed
+    for line in plan_for_seed("chatroom", 7).describe():
+        assert line in out
+
+
+def test_chaos_describe_plan_recover(capsys):
+    assert main(["chaos", "--recover", "--describe-plan",
+                 "--seed", "3"]) == 0
+    assert "recover" in capsys.readouterr().out
+
+
+def test_chaos_explore_green_run(tmp_path, capsys):
+    trace = tmp_path / "explore.trace"
+    assert main(["chaos", "lock", "--explore", "--budget", "6",
+                 "--oracle", "residue", "--oracle", "abort",
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "fault exploration: lock, budget 6" in out
+    assert "every schedule passed every oracle" in out
+    assert trace.exists()
+
+
+def test_chaos_explore_finds_and_replays_planted_regression(
+        monkeypatch, tmp_path, capsys):
+    import repro.core.supervision as supervision
+    monkeypatch.setattr(supervision, "SKIP_ABORT_PERFORMANCE_END", True)
+    plan = tmp_path / "ce.json"
+    assert main(["chaos", "broadcast", "--explore", "--budget", "90",
+                 "--plan-out", str(plan)]) == 1
+    out = capsys.readouterr().out
+    assert "failure" in out and "residue" in out
+    assert "--replay-plan" in out                 # the repro command line
+    assert plan.exists()
+    # The saved counterexample reproduces through the CLI...
+    assert main(["chaos", "broadcast", "--explore",
+                 "--replay-plan", str(plan)]) == 1
+    assert "residue" in capsys.readouterr().out
+    # ...and stops reproducing once the regression is reverted.
+    monkeypatch.setattr(supervision, "SKIP_ABORT_PERFORMANCE_END", False)
+    assert main(["chaos", "broadcast", "--explore",
+                 "--replay-plan", str(plan)]) == 0
+    assert "passed every oracle" in capsys.readouterr().out
+
+
+def test_chaos_replay_plan_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text('{"scenario": "no-such"}')
+    assert main(["chaos", "broadcast", "--explore",
+                 "--replay-plan", str(path)]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
