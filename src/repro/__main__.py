@@ -139,6 +139,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Run the full static analysis over script files."""
     from .analysis import analyze_source, dump_report_json, figure_corpus
+    from .analysis.diagnostics import summary_lines
+    parameterized = getattr(args, "parameterized", False) \
+        or args.command == "verify"
     targets: list[tuple[str, str]] = []
     if args.figures:
         targets.extend(figure_corpus())
@@ -156,7 +159,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     reports = []
     for label, source in targets:
         try:
-            reports.append(analyze_source(source, label=label))
+            reports.append(analyze_source(
+                source, label=label, parameterized=parameterized,
+                max_states=getattr(args, "max_states", None)))
         except ScriptLangError as error:
             print(f"{label}: {error}", file=sys.stderr)
             return 2
@@ -167,12 +172,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     else:
         for report in reports:
             if report.clean:
-                print(f"{report.label}: clean")
+                verdict = ""
+                if report.parameterized is not None:
+                    covers = report.parameterized["covers"] or \
+                        report.parameterized["strategy"]
+                    verdict = f" (proved safe: {covers})"
+                print(f"{report.label}: clean{verdict}")
             else:
                 for line in report.lines():
                     print(line)
-        print(f"{len(reports)} file(s): {errors} error(s), "
-              f"{warnings} warning(s)")
+        for line in summary_lines(reports):
+            print(line)
     if errors or (args.strict and warnings):
         return 1
     return 0
@@ -470,7 +480,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from .obs import jsonable, run_scenario
     if args.scenario == "analysis":
         from .analysis import analyze_corpus, record_analysis
-        reports = analyze_corpus()
+        # Parameterized verification included: the registry carries the
+        # model checker's state-space counters alongside the finding
+        # counts (analysis_param_*).
+        reports = analyze_corpus(parameterized=True)
         registry = record_analysis(reports)
         if args.json:
             print(json.dumps(jsonable(registry.to_dict()), sort_keys=True,
@@ -590,7 +603,31 @@ def build_parser() -> argparse.ArgumentParser:
                                   "errors")
     analyze_cmd.add_argument("--json", action="store_true",
                              help="emit deterministic diagnostics JSON")
+    analyze_cmd.add_argument("--parameterized", action="store_true",
+                             help="also run the counter-abstraction model "
+                                  "checker: prove deadlock freedom and "
+                                  "critical-set liveness for every family "
+                                  "size (SCR010/SCR011/SCR012)")
+    analyze_cmd.add_argument("--max-states", type=int, default=None,
+                             help="state bound before the parameterized "
+                                  "checker reports inconclusive")
     analyze_cmd.set_defaults(handler=cmd_analyze)
+
+    verify = sub.add_parser(
+        "verify", help="parameterized verification of script files "
+                       "(analyze --parameterized)")
+    verify.add_argument("files", nargs="*",
+                        help="script-language source files")
+    verify.add_argument("--figures", action="store_true",
+                        help="also verify the shipped paper figures")
+    verify.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings, not only errors")
+    verify.add_argument("--json", action="store_true",
+                        help="emit deterministic diagnostics JSON")
+    verify.add_argument("--max-states", type=int, default=None,
+                        help="state bound before the checker reports "
+                             "inconclusive")
+    verify.set_defaults(handler=cmd_analyze)
 
     fmt = sub.add_parser("format", help="pretty-print a script file")
     fmt.add_argument("file")

@@ -29,7 +29,8 @@ from .analyzer import (analyze_corpus, analyze_program, analyze_source,
 from .cfg import CFG, CFGNode, Prefix, PrefixOp, build_cfg, guaranteed_prefix
 from .deadlock import analyze_deadlocks, collect_prefixes
 from .diagnostics import (CATALOG, Finding, Report, Severity,
-                          counts_by_code, dump_report_json, report_document)
+                          counts_by_code, dump_report_json,
+                          report_document, summary_lines)
 from .graph import (CommSite, Instance, all_instances, collect_sites,
                     instance_label, role_instances, static_eval,
                     terminated_partners)
@@ -64,5 +65,6 @@ __all__ = [
     "report_document",
     "role_instances",
     "static_eval",
+    "summary_lines",
     "terminated_partners",
 ]

@@ -130,8 +130,15 @@ def _check_unmatched(program: ast.ScriptProgram, info: ProgramInfo,
 
 def analyze_program(program: ast.ScriptProgram,
                     info: ProgramInfo | None = None,
-                    label: str = "<script>") -> Report:
+                    label: str = "<script>", *,
+                    parameterized: bool = False,
+                    max_states: int | None = None) -> Report:
     """Run every static check over a parsed (semantically valid) program.
+
+    With ``parameterized=True`` the counter-abstraction model checker of
+    :mod:`repro.analysis.param` also runs, proving deadlock freedom and
+    critical-set liveness for *every* family size (SCR010/SCR011/SCR012)
+    and filling ``report.parameterized`` with its state-space counters.
 
     Raises :class:`~repro.errors.SemanticError` if the program fails the
     semantic analysis the checks build on.
@@ -145,17 +152,25 @@ def analyze_program(program: ast.ScriptProgram,
     _check_unmatched(program, info, sites, excluded, terminated_refs, report)
     analyze_deadlocks(program, info, report)
     analyze_critical(program, info, sites, terminated_refs, report)
+    if parameterized:
+        from .param import DEFAULT_MAX_STATES, run_parameterized
+        run_parameterized(program, info, report,
+                          max_states=max_states or DEFAULT_MAX_STATES)
     return report
 
 
-def analyze_source(source: str, label: str = "<script>") -> Report:
+def analyze_source(source: str, label: str = "<script>", *,
+                   parameterized: bool = False,
+                   max_states: int | None = None) -> Report:
     """Parse, semantically check, and analyze script-language source.
 
     Raises :class:`~repro.errors.ScriptLangError` (parse or semantic) when
     the source is not a valid program — static analysis needs one.
     """
     program = parse_script(source)
-    return analyze_program(program, label=label)
+    return analyze_program(program, label=label,
+                           parameterized=parameterized,
+                           max_states=max_states)
 
 
 def figure_corpus() -> list[tuple[str, str]]:
@@ -166,12 +181,13 @@ def figure_corpus() -> list[tuple[str, str]]:
             ("fig5", figures.FIGURE5_DATABASE)]
 
 
-def analyze_corpus(extra: list[tuple[str, str]] | None = None
-                   ) -> list[Report]:
+def analyze_corpus(extra: list[tuple[str, str]] | None = None, *,
+                   parameterized: bool = False) -> list[Report]:
     """Analyze the shipped figures plus any extra (label, source) pairs."""
     reports = []
     for label, source in figure_corpus() + list(extra or ()):
-        reports.append(analyze_source(source, label=label))
+        reports.append(analyze_source(source, label=label,
+                                      parameterized=parameterized))
     return reports
 
 

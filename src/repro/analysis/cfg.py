@@ -39,13 +39,20 @@ from .graph import Instance, static_eval
 
 @dataclasses.dataclass(slots=True)
 class CFGNode:
-    """One CFG node: a statement occurrence (or the entry/exit sentinel)."""
+    """One CFG node: a statement occurrence (or the entry/exit sentinel).
+
+    ``stmt`` carries the AST statement the node stands for (``None`` for
+    the entry/exit sentinels) so flow queries — notably the parameterized
+    checker's exactly-once test — can be asked about a specific statement
+    occurrence rather than a (kind, line) fingerprint.
+    """
 
     id: int
     kind: str                  # "entry" | "exit" | "assign" | "send" |
                                # "receive" | "if" | "do" | "skip"
     line: int
     succs: list[int] = dataclasses.field(default_factory=list)
+    stmt: "ast.Stmt | None" = None
 
 
 class CFG:
@@ -63,8 +70,9 @@ class CFG:
     def exit(self) -> CFGNode:
         return self.nodes[1]
 
-    def add(self, kind: str, line: int) -> CFGNode:
-        node = CFGNode(len(self.nodes), kind, line)
+    def add(self, kind: str, line: int,
+            stmt: "ast.Stmt | None" = None) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, line, stmt=stmt)
         self.nodes.append(node)
         return node
 
@@ -93,7 +101,7 @@ def build_cfg(body: tuple[ast.Stmt, ...]) -> CFG:
               preds: list[CFGNode]) -> list[CFGNode]:
         """Wire ``stmts`` after ``preds``; returns the new dangling ends."""
         for stmt in stmts:
-            node = cfg.add(_KIND[type(stmt)], stmt.line)
+            node = cfg.add(_KIND[type(stmt)], stmt.line, stmt=stmt)
             for pred in preds:
                 cfg.link(pred, node)
             if isinstance(stmt, ast.IfStmt):
@@ -123,6 +131,50 @@ def build_cfg(body: tuple[ast.Stmt, ...]) -> CFG:
     if not body:
         cfg.link(cfg.entry, cfg.exit)
     return cfg
+
+
+# ---------------------------------------------------------------------------
+# Flow queries
+# ---------------------------------------------------------------------------
+
+
+def _reachable(cfg: CFG, start: int, avoid: int | None = None) -> set[int]:
+    """Node ids reachable from ``start`` (not crossing ``avoid``)."""
+    seen: set[int] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen or node == avoid:
+            continue
+        seen.add(node)
+        stack.extend(cfg.nodes[node].succs)
+    return seen
+
+
+def node_for_stmt(cfg: CFG, stmt: "ast.Stmt") -> CFGNode | None:
+    """The node built for this exact statement occurrence (by identity)."""
+    for node in cfg.nodes:
+        if node.stmt is stmt:
+            return node
+    return None
+
+
+def passes_exactly_once(cfg: CFG, node_id: int) -> bool:
+    """Does every entry-to-exit path pass through ``node_id`` exactly once?
+
+    True iff the node dominates the exit (no path avoids it) and cannot
+    re-reach itself (no path repeats it).  This is the side condition the
+    parameterized checker's counted-foreach abstraction relies on: a
+    family member whose rendezvous site passes exactly once lets "member
+    has fired" be read off the member's control location (DESIGN.md §16).
+    """
+    avoiding = _reachable(cfg, cfg.entry.id, avoid=node_id)
+    if cfg.exit.id in avoiding:
+        return False               # some path reaches exit around the node
+    after = set()
+    for succ in cfg.nodes[node_id].succs:
+        after |= _reachable(cfg, succ)
+    return node_id not in after    # no path loops back through the node
 
 
 # ---------------------------------------------------------------------------

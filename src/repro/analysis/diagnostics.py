@@ -43,6 +43,9 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "SCR008": (Severity.WARNING,
                "possibly-unfilled partner not handled"),
     "SCR009": (Severity.WARNING, "critical set can never initiate"),
+    "SCR010": (Severity.ERROR, "guaranteed family deadlock"),
+    "SCR011": (Severity.ERROR, "critical-set liveness violation"),
+    "SCR012": (Severity.WARNING, "parameterized abstraction inconclusive"),
 }
 
 
@@ -83,6 +86,9 @@ class Report:
         self.script = script
         self._findings: list[Finding] = []
         self._sorted = True
+        #: Optional parameterized-verification summary (a JSON-able dict
+        #: set by :mod:`repro.analysis.param` when ``--parameterized`` ran).
+        self.parameterized: dict | None = None
 
     def emit(self, code: str, line: int, role: str, message: str,
              partner: str | None = None) -> None:
@@ -123,9 +129,13 @@ class Report:
 
     def to_dict(self) -> dict:
         """JSON-able snapshot with deterministic ordering."""
-        return {"label": self.label, "script": self.script,
-                "errors": self.error_count, "warnings": self.warning_count,
-                "findings": [f.to_dict() for f in self.findings]}
+        document = {"label": self.label, "script": self.script,
+                    "errors": self.error_count,
+                    "warnings": self.warning_count,
+                    "findings": [f.to_dict() for f in self.findings]}
+        if self.parameterized is not None:
+            document["parameterized"] = self.parameterized
+        return document
 
     def lines(self) -> list[str]:
         """Human-readable rendering, one line per finding."""
@@ -143,8 +153,15 @@ def counts_by_code(reports: Iterable[Report]) -> dict[str, int]:
 
 
 def report_document(reports: Iterable[Report]) -> dict:
-    """The multi-file report document emitted by ``repro analyze --json``."""
-    reports = list(reports)
+    """The multi-file report document emitted by ``repro analyze --json``.
+
+    Reports are ordered by label (stable for equal labels), and each
+    report's findings are already in canonical (line, code, role, partner)
+    order, so the document is a pure function of the analyzed inputs —
+    parameterized and fixed-N runs diff cleanly regardless of the order
+    the files were named on the command line.
+    """
+    reports = sorted(reports, key=lambda r: r.label)
     return {
         "version": 1,
         "reports": [report.to_dict() for report in reports],
@@ -160,3 +177,35 @@ def report_document(reports: Iterable[Report]) -> dict:
 def dump_report_json(reports: Iterable[Report]) -> str:
     """Deterministic JSON: sorted keys, fixed indentation, sorted findings."""
     return json.dumps(report_document(reports), sort_keys=True, indent=2)
+
+
+def summary_lines(reports: Iterable[Report]) -> list[str]:
+    """The ``analyze`` / ``verify`` summary in the shared report layout.
+
+    Rendered with :func:`repro.reporting.kv_lines` so every CLI report
+    (soak, explore, replay, analyze, verify) shares one look.  When any
+    report carries a parameterized section, its aggregate counters are
+    appended as extra rows.
+    """
+    from ..reporting import kv_lines  # package-top shared formatter
+
+    reports = sorted(reports, key=lambda r: r.label)
+    rows: list[tuple[str, object]] = [
+        ("errors", sum(r.error_count for r in reports)),
+        ("warnings", sum(r.warning_count for r in reports)),
+    ]
+    by_code = counts_by_code(reports)
+    if by_code:
+        rows.append(("findings", " ".join(
+            f"{code}={count}" for code, count in by_code.items())))
+    parameterized = [r.parameterized for r in reports
+                     if r.parameterized is not None]
+    if parameterized:
+        rows.append(("proved", sum(
+            1 for p in parameterized if p["verdict"] == "safe")))
+        rows.append(("states", sum(p["states"] for p in parameterized)))
+        rows.append(("frontier", max(
+            p["frontier_peak"] for p in parameterized)))
+        rows.append(("witnesses", sum(
+            p["witnesses_replayed"] for p in parameterized)))
+    return kv_lines(f"analysis: {len(reports)} file(s)", rows)

@@ -96,6 +96,155 @@ def static_eval(expr: ast.Expr, constants: dict[str, int],
     return None
 
 
+# ---------------------------------------------------------------------------
+# Affine symbolic evaluation over the family-size parameter
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Affine:
+    """``coeff * N + offset`` over one symbolic size parameter ``N``.
+
+    The parameterized checker (:mod:`repro.analysis.param`) evaluates
+    index expressions for *symbolic* instances — the high-boundary member
+    ``node[n]`` has index ``Affine(1, 0)``, its predecessor ``n - 1`` is
+    ``Affine(1, -1)``, and a concrete index ``2`` is ``Affine(0, 2)``.
+    Comparisons are decided **relative to a floor**: ``cmp(other, floor)``
+    answers only when the sign of the difference is uniform for every
+    ``N >= floor``, and returns ``None`` otherwise — keeping every use
+    conservative.
+    """
+
+    coeff: int
+    offset: int
+
+    def __add__(self, other: "Affine") -> "Affine":
+        return Affine(self.coeff + other.coeff, self.offset + other.offset)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return Affine(self.coeff - other.coeff, self.offset - other.offset)
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.coeff, -self.offset)
+
+    def scale(self, k: int) -> "Affine":
+        return Affine(self.coeff * k, self.offset * k)
+
+    @property
+    def constant(self) -> int | None:
+        """The concrete value when ``N`` does not occur, else ``None``."""
+        return self.offset if self.coeff == 0 else None
+
+    def at(self, n: int) -> int:
+        """The concrete value at ``N = n``."""
+        return self.coeff * n + self.offset
+
+def as_affine(value: int | Affine | None) -> Affine | None:
+    """Lift a concrete int (or pass an :class:`Affine` through)."""
+    if value is None:
+        return None
+    if isinstance(value, Affine):
+        return value
+    return Affine(0, value)
+
+
+def affine_eval(expr: ast.Expr, constants: dict[str, int],
+                bindings: dict[str, "int | Affine"],
+                param: str | None = None) -> Affine | None:
+    """Fold ``expr`` into an affine form over the size parameter.
+
+    ``param`` names the symbolic size constant (its declared value in
+    ``constants`` is ignored); ``bindings`` may carry :class:`Affine`
+    values for symbolic instance indices.  Returns ``None`` when the
+    expression does not fold to an affine integer form (booleans,
+    multiplication of two symbolic forms, unknown names...).
+    """
+    if isinstance(expr, ast.Num):
+        return Affine(0, expr.value)
+    if isinstance(expr, ast.Name):
+        if expr.ident == param:
+            return Affine(1, 0)
+        if expr.ident in bindings:
+            return as_affine(bindings[expr.ident])  # type: ignore[arg-type]
+        if expr.ident in constants:
+            return Affine(0, constants[expr.ident])
+        return None
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        operand = affine_eval(expr.operand, constants, bindings, param)
+        return None if operand is None else -operand
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*", "/"):
+        left = affine_eval(expr.left, constants, bindings, param)
+        right = affine_eval(expr.right, constants, bindings, param)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.coeff == 0:
+                return right.scale(left.offset)
+            if right.coeff == 0:
+                return left.scale(right.offset)
+            return None
+        divisor = right.constant
+        if divisor in (None, 0):
+            return None
+        if left.coeff % divisor or left.offset % divisor:
+            return None
+        return Affine(left.coeff // divisor, left.offset // divisor)
+    return None
+
+
+def affine_compare(op: str, left: Affine, right: Affine,
+                   floor: int) -> bool | None:
+    """Decide ``left <op> right`` uniformly for every ``N >= floor``.
+
+    ``op`` is a surface comparison operator (``=``, ``<>``, ``<``, ``<=``,
+    ``>``, ``>=``).  Returns ``None`` when the outcome depends on ``N``.
+    The difference ``d = left - right`` ranges over ``[d(floor), +inf)``
+    when its ``N`` coefficient is positive, ``(-inf, d(floor)]`` when
+    negative, and the single value ``d(floor)`` when zero — comparisons
+    are decided from that range.
+    """
+    d = left - right
+    at_floor = d.at(floor)
+    lo = at_floor if d.coeff >= 0 else None      # None = unbounded below
+    hi = at_floor if d.coeff <= 0 else None      # None = unbounded above
+
+    def zero_attainable() -> bool:
+        if d.coeff == 0:
+            return d.offset == 0
+        if d.offset % d.coeff:
+            return False
+        return -d.offset // d.coeff >= floor
+
+    if op in ("=", "<>"):
+        always = d.coeff == 0 and d.offset == 0
+        never = not zero_attainable()
+        if always:
+            return op == "="
+        if never:
+            return op == "<>"
+        return None
+    if op in (">", ">="):
+        # a > b  <=>  b < a;  a >= b  <=>  b <= a.
+        return affine_compare("<" if op == ">" else "<=", right, left, floor)
+    if op == "<":
+        if hi is not None and hi < 0:
+            return True
+        if lo is not None and lo >= 0:
+            return False
+        return None
+    if op == "<=":
+        if hi is not None and hi <= 0:
+            return True
+        if lo is not None and lo > 0:
+            return False
+        return None
+    return None
+
+
 def role_instances(role: ast.RoleDeclNode, info: ProgramInfo
                    ) -> list[tuple[Instance, dict[str, int]]]:
     """The concrete instances of ``role`` with their index bindings."""

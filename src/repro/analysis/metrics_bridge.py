@@ -8,6 +8,16 @@ same renderer (and JSON shape) as the runtime scenarios:
 * ``analysis_files_clean`` — programs with zero findings;
 * ``analysis_findings_total{CODE}`` — findings per diagnostic code;
 * ``analysis_errors_total`` / ``analysis_warnings_total`` — by severity.
+
+Reports that carry a parameterized-verification section (``repro analyze
+--parameterized`` / ``repro verify``) additionally contribute the model
+checker's state-space counters:
+
+* ``analysis_param_files_total`` / ``analysis_param_proved_total`` —
+  programs verified / proved safe for every family size;
+* ``analysis_param_states_total`` — abstract + concrete states explored;
+* ``analysis_param_frontier_peak`` — widest exploration frontier seen;
+* ``analysis_param_witnesses_total`` — counterexample replays attempted.
 """
 
 from __future__ import annotations
@@ -36,4 +46,15 @@ def record_analysis(reports: Iterable[Report],
         for finding in report.findings:
             registry.counter("analysis_findings_total",
                              label=finding.code).inc()
+        if report.parameterized is not None:
+            stats = report.parameterized
+            registry.counter("analysis_param_files_total").inc()
+            if stats["verdict"] == "safe":
+                registry.counter("analysis_param_proved_total").inc()
+            registry.counter("analysis_param_states_total").inc(
+                stats["states"])
+            registry.gauge("analysis_param_frontier_peak").set(
+                stats["frontier_peak"])
+            registry.counter("analysis_param_witnesses_total").inc(
+                stats["witnesses_replayed"])
     return registry

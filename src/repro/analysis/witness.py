@@ -1,0 +1,127 @@
+"""Concretizing abstract counterexamples under the real engine.
+
+The abstraction in :mod:`repro.analysis.abstraction` over-approximates:
+an abstract deadlock or livelock may be an artifact of counter blur or
+TOP-valued data.  Nothing is reported to the user until this module
+confirms it concretely —
+
+* :func:`replay_deadlock` reinstantiates the script at a candidate family
+  size, spawns the full cast under the real
+  :class:`~repro.runtime.scheduler.Scheduler`, and checks that the
+  performance raises :class:`~repro.runtime.scheduler.DeadlockError`;
+* :func:`find_deadlock_witness` sweeps candidate sizes smallest-first so
+  the reported witness is minimal;
+* :func:`confirm_livelock` re-explores the *concrete* state space at the
+  witness size (never the scheduler — a livelock would simply hang it)
+  and checks a terminal configuration really is unreachable.
+
+IN-mode role parameters are filled with the same ``<role.param>`` atom
+strings the abstraction computes with, so the replay exercises exactly
+the data flow the abstract run reasoned about (and, because the atoms
+are fresh by construction, the sentinel-freedom assumption holds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..lang import ast_nodes as ast
+from ..lang.analysis import analyze
+from ..lang.interp import compile_program
+from ..runtime.scheduler import DeadlockError, Scheduler
+from .abstraction import build_concrete_system, reparameterize
+from .param import explore_system
+
+#: Scheduler seeds tried per candidate size.  Seed 0 is the engine
+#: default and almost always suffices for *guaranteed* deadlocks (every
+#: schedule blocks); the rest cover scheduler-order-sensitive stalls.
+REPLAY_SEEDS: tuple[int, ...] = tuple(range(10))
+
+#: Step bound per replay — generous for the small witness sizes swept.
+REPLAY_MAX_STEPS = 200_000
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Witness:
+    """One confirmed concrete counterexample."""
+
+    overrides: dict                # constant overrides ({param: n})
+    seed: int                      # scheduler seed that exhibited it
+    blocked: tuple[str, ...]       # blocked process labels (deadlocks)
+
+
+def _atom_params(role: ast.RoleDeclNode) -> dict[str, str]:
+    """IN-parameter fillers matching the abstraction's atoms."""
+    return {p.name: f"<{role.name}.{p.name}>"
+            for p in role.params if not p.is_var}
+
+
+def replay_deadlock(program: ast.ScriptProgram, overrides: dict,
+                    seeds: tuple[int, ...] = REPLAY_SEEDS,
+                    max_steps: int = REPLAY_MAX_STEPS) -> Witness | None:
+    """Run the full cast at ``overrides``; a :class:`Witness` on deadlock.
+
+    Tries ``seeds`` in order and returns on the first schedule that
+    blocks.  Any outcome other than a deadlock — completion, a step-bound
+    trip, an engine error — counts as *not confirmed* for that seed.
+    """
+    concrete = reparameterize(program, overrides)
+    info = analyze(concrete)
+    script = compile_program(concrete, info)
+    params = {role.name: _atom_params(role) for role in concrete.roles}
+    for seed in seeds:
+        scheduler = Scheduler(seed=seed, max_steps=max_steps)
+        instance = script.instance(scheduler)
+
+        def actor(role_id, kwargs):
+            out = yield from instance.enroll(role_id, **kwargs)
+            return out
+
+        for role_id in sorted(script.closed_role_ids, key=str):
+            if isinstance(role_id, str):
+                name, label = role_id, role_id
+            else:
+                name, label = role_id[0], f"{role_id[0]}[{role_id[1]}]"
+            scheduler.spawn(label, actor(role_id, params.get(name, {})))
+        try:
+            scheduler.run()
+        except DeadlockError as blocked:
+            labels = tuple(sorted(str(name) for name in blocked.blocked))
+            return Witness(overrides=dict(overrides), seed=seed,
+                           blocked=labels)
+        except Exception:
+            continue               # replay failed some other way: no claim
+    return None
+
+
+def find_deadlock_witness(program: ast.ScriptProgram, param: str,
+                          sizes: range) -> Witness | None:
+    """The smallest family size in ``sizes`` whose full cast deadlocks."""
+    for n in sizes:
+        witness = replay_deadlock(program, {param: n}, seeds=(0,))
+        if witness is not None:
+            return witness
+    for n in sizes:                # rarer: schedule-dependent blocks
+        witness = replay_deadlock(program, {param: n})
+        if witness is not None:
+            return witness
+    return None
+
+
+def confirm_livelock(program: ast.ScriptProgram, overrides: dict,
+                     max_states: int) -> bool:
+    """Does the concrete state space at ``overrides`` contain a reachable
+    configuration from which no terminal configuration is reachable?
+
+    Uses exhaustive concrete exploration, not the scheduler: a genuine
+    livelock never raises, it spins — only reachability analysis can
+    certify it.  An inconclusive (capped) exploration confirms nothing.
+    """
+    try:
+        system = build_concrete_system(program, overrides)
+    except Exception:
+        return False
+    exploration = explore_system(system, max_states=max_states)
+    if exploration.capped:
+        return False
+    return bool(exploration.livelocks) or bool(exploration.deadlocks)

@@ -1,25 +1,13 @@
-"""Shared report formatting for the chaos/recovery/exploration CLIs.
+"""Chaos-report formatting — now a re-export of :mod:`repro.reporting`.
 
-Every soak-style report renders as a one-line header followed by aligned
-``label  value`` rows.  The layout used to be duplicated between
-:class:`~repro.faults.soak.SoakReport` and
-:class:`~repro.recovery.soak.RecoverReport` (and would have been a third
-time by the exploration report); this module is the single copy.
+The aligned ``label  value`` layout this module introduced is shared by
+every report-style CLI command (soak, recover, explore, replay, analyze,
+verify), so the single copy moved to the package top level.  Importing
+``kv_lines`` / ``LABEL_WIDTH`` from here keeps working.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from ..reporting import LABEL_WIDTH, kv_lines
 
-#: Width the row labels are padded to; chosen so the historical reports'
-#: output is byte-identical ("  outcomes      ..." etc.).
-LABEL_WIDTH = 12
-
-
-def kv_lines(header: str,
-             rows: Iterable[tuple[str, Any]]) -> list[str]:
-    """Render ``header`` plus one aligned detail line per ``(label, value)``."""
-    lines = [header]
-    for label, value in rows:
-        lines.append(f"  {label:<{LABEL_WIDTH}}  {value}")
-    return lines
+__all__ = ["LABEL_WIDTH", "kv_lines"]

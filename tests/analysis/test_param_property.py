@@ -1,0 +1,110 @@
+"""Property test: the parameterized verdict agrees with the ground truth.
+
+A seeded generator produces small hub-and-spokes scripts — a singleton
+hub running gather/scatter phases against a symmetric peer family — some
+faithful, some with a planted protocol bug (phases swapped on the peer
+side, or the hub hardwired to a fixed prefix of the family).  For each
+script the checker's verdict must agree with exhaustive *concrete*
+exploration at every family size in 2..5:
+
+* verdict "safe"   -> no deadlock or livelock at any n in 2..5;
+* verdict "unsafe" -> a violation exists at some n in 2..6;
+* the generator stays inside the supported fragment, so "inconclusive"
+  is itself a failure.
+"""
+
+import random
+
+from repro.analysis.abstraction import build_concrete_system
+from repro.analysis.diagnostics import Report
+from repro.analysis.param import explore_system, run_parameterized
+from repro.lang.analysis import analyze
+from repro.lang.parser import parse_script
+
+SEEDS = range(20)
+
+
+def make_script(rng: random.Random) -> str:
+    """One hub + symmetric peer family, with an optional planted bug."""
+    phases = [rng.choice(("gather", "scatter"))
+              for _ in range(rng.randint(1, 2))]
+    # One send site and one receive site per direction at most — the
+    # counted-foreach abstraction requires a unique complementary site.
+    if phases == ["gather", "gather"]:
+        phases = ["gather", "scatter"]
+    if phases == ["scatter", "scatter"]:
+        phases = ["scatter", "gather"]
+    mutation = rng.choice(("none", "none", "swap", "gap"))
+    if mutation == "swap" and len(phases) < 2:
+        phases = ["gather", "scatter"]
+
+    hub_parts, peer_parts = [], []
+    for index, phase in enumerate(phases, 1):
+        if mutation == "gap":
+            # The hub hardwires peers 1 and 2: clean at the declared
+            # n = 2, deadlocked for every larger family.
+            if phase == "gather":
+                hub_parts.append("    RECEIVE got FROM peer[1];\n"
+                                 "    RECEIVE got FROM peer[2]")
+            else:
+                hub_parts.append("    SEND token TO peer[1];\n"
+                                 "    SEND token TO peer[2]")
+        else:
+            comm = (f"RECEIVE got FROM peer[j{index}]" if phase == "gather"
+                    else f"SEND token TO peer[j{index}]")
+            hub_parts.append(
+                f"    c{index} := 0;\n"
+                f"    DO [j{index} = 1..n]\n"
+                f"      c{index} < n; {comm} ->\n"
+                f"        c{index} := c{index} + 1\n"
+                f"    OD")
+        peer_parts.append("    SEND word TO hub" if phase == "gather"
+                          else "    RECEIVE token FROM hub")
+    if mutation == "swap":
+        peer_parts.reverse()        # peers run the phases backwards
+
+    counters = "".join(f"    c{i} : integer;\n"
+                       for i in range(1, len(phases) + 1))
+    return (
+        "SCRIPT generated;\n"
+        "  CONST n = 2;\n"
+        "  INITIATION: IMMEDIATE;\n"
+        "  TERMINATION: IMMEDIATE;\n"
+        "\n"
+        "  ROLE hub (token : item);\n"
+        "  VAR\n"
+        "    got : item;\n"
+        f"{counters}"
+        "  BEGIN\n"
+        + ";\n".join(hub_parts) + "\n"
+        "  END hub;\n"
+        "\n"
+        "  ROLE peer [i:1..n] (word : item; VAR token : item);\n"
+        "  BEGIN\n"
+        + ";\n".join(peer_parts) + "\n"
+        "  END peer;\n"
+        "END generated;\n")
+
+
+def concrete_violations(program, n: int) -> bool:
+    exploration = explore_system(build_concrete_system(program, {"n": n}))
+    assert not exploration.capped
+    return bool(exploration.deadlocks) or bool(exploration.livelocks)
+
+
+def test_verdicts_agree_with_concrete_ground_truth():
+    for seed in SEEDS:
+        source = make_script(random.Random(seed))
+        program = parse_script(source)
+        info = analyze(program)
+        report = Report(label=f"seed{seed}", script=program.name)
+        stats = run_parameterized(program, info, report)
+        truth = [concrete_violations(program, n) for n in range(2, 6)]
+        context = (seed, stats["verdict"], truth, source)
+        assert stats["verdict"] != "inconclusive", context
+        if stats["verdict"] == "safe":
+            assert not any(truth), context
+        else:
+            wider = truth + [concrete_violations(program, n)
+                             for n in (6,)]
+            assert any(wider), context

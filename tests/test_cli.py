@@ -136,7 +136,10 @@ def test_analyze_figures_are_clean(capsys):
     out = capsys.readouterr().out
     assert "fig3: clean" in out
     assert "fig5: clean" in out
-    assert "0 error(s), 0 warning(s)" in out
+    # The summary uses the shared kv report layout.
+    assert "analysis: 3 file(s)" in out
+    assert "errors        0" in out
+    assert "warnings      0" in out
 
 
 def test_analyze_reports_errors_with_exit_1(tmp_path, capsys):
